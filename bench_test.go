@@ -1,0 +1,156 @@
+package repro
+
+// Repository-level benchmarks: one per experiment (regenerating the
+// corresponding table/figure at quick scale and reporting its headline
+// metric via b.ReportMetric) plus micro-benchmarks of the kernels every
+// experiment leans on. EXPERIMENTS.md records the full-scale outputs.
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/assign"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/phonecall"
+	"repro/internal/rng"
+	"repro/internal/temporal"
+)
+
+// benchCfg is the per-iteration experiment configuration: quick scale,
+// seed varied per iteration so the benchmark averages across instances.
+func benchCfg(i int) experiments.Config {
+	return experiments.Config{Seed: uint64(i) + 1, Quick: true}
+}
+
+// runExperiment drives one experiment per iteration and reports the
+// number of table rows produced (a stand-in throughput metric; the real
+// output is the table itself).
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		res := e.Run(benchCfg(i))
+		for _, tb := range res.Tables {
+			rows += len(tb.Rows)
+		}
+	}
+	b.ReportMetric(float64(rows)/float64(b.N), "rows/op")
+}
+
+func BenchmarkE1TemporalDiameterClique(b *testing.B) { runExperiment(b, "E1") }
+func BenchmarkE2LifetimeScaling(b *testing.B)        { runExperiment(b, "E2") }
+func BenchmarkE3ExpansionProcess(b *testing.B)       { runExperiment(b, "E3") }
+func BenchmarkE4Spread(b *testing.B)                 { runExperiment(b, "E4") }
+func BenchmarkE5StarReachability(b *testing.B)       { runExperiment(b, "E5") }
+func BenchmarkE6StarPoR(b *testing.B)                { runExperiment(b, "E6") }
+func BenchmarkE7GeneralReachability(b *testing.B)    { runExperiment(b, "E7") }
+func BenchmarkE8PoRGeneral(b *testing.B)             { runExperiment(b, "E8") }
+func BenchmarkE9GnpConnectivity(b *testing.B)        { runExperiment(b, "E9") }
+func BenchmarkE10PhoneCall(b *testing.B)             { runExperiment(b, "E10") }
+func BenchmarkE11MultiLabel(b *testing.B)            { runExperiment(b, "E11") }
+func BenchmarkE12Distributions(b *testing.B)         { runExperiment(b, "E12") }
+func BenchmarkE13Remark1(b *testing.B)               { runExperiment(b, "E13") }
+func BenchmarkE14Windows(b *testing.B)               { runExperiment(b, "E14") }
+
+// --- kernel micro-benchmarks -------------------------------------------
+
+// urtClique builds a directed normalized URT clique instance.
+func urtClique(n int, seed uint64) *temporal.Network {
+	g := graph.Clique(n, true)
+	lab := assign.NormalizedURTN(g, rng.New(seed))
+	return temporal.MustNew(g, n, lab)
+}
+
+func BenchmarkKernelEarliestArrival(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run("clique-"+strconv.Itoa(n), func(b *testing.B) {
+			net := urtClique(n, 1)
+			arr := make([]int32, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.EarliestArrivalsInto(i%n, arr)
+			}
+			b.ReportMetric(float64(net.LabelCount()), "timeedges")
+		})
+	}
+}
+
+func BenchmarkKernelTemporalDiameterExact(b *testing.B) {
+	net := urtClique(256, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		temporal.Diameter(net)
+	}
+}
+
+func BenchmarkKernelTreach(b *testing.B) {
+	g := graph.Grid(12, 12)
+	lab := assign.Uniform(g, g.N(), 8, rng.New(1))
+	net := temporal.MustNew(g, g.N(), lab)
+	scratch := temporal.NewTreachScratch(g.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		temporal.SatisfiesTreachSerial(net, scratch)
+	}
+}
+
+func BenchmarkKernelExpansion(b *testing.B) {
+	net := urtClique(1024, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Expansion(net, i%1024, (i+511)%1024, core.ExpansionConfig{})
+	}
+}
+
+func BenchmarkKernelSpread(b *testing.B) {
+	net := urtClique(1024, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Spread(net, i%1024)
+	}
+}
+
+func BenchmarkKernelUniformAssignment(b *testing.B) {
+	g := graph.Clique(1024, true)
+	r := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assign.NormalizedURTN(g, r)
+	}
+}
+
+func BenchmarkKernelNetworkConstruction(b *testing.B) {
+	g := graph.Clique(512, true)
+	lab := assign.NormalizedURTN(g, rng.New(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		temporal.MustNew(g, 512, lab)
+	}
+}
+
+func BenchmarkKernelPhonecallPush(b *testing.B) {
+	g := graph.Clique(1024, false)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		phonecall.Push(g, i%1024, 0, r)
+	}
+}
+
+func BenchmarkKernelGnpSparse(b *testing.B) {
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		graph.Gnp(4096, 0.002, false, r)
+	}
+}

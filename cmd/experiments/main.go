@@ -1,0 +1,87 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments                  # run everything at full scale
+//	experiments -id E1,E5        # run selected experiments
+//	experiments -quick           # bench/CI scale
+//	experiments -format markdown # markdown tables (for EXPERIMENTS.md)
+//	experiments -format csv      # machine-readable tables
+//	experiments -seed 7          # change the Monte-Carlo base seed
+//
+// Every number printed is a deterministic function of the seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		ids    = flag.String("id", "", "comma-separated experiment ids (default: all)")
+		seed   = flag.Uint64("seed", 2014, "Monte-Carlo base seed")
+		quick  = flag.Bool("quick", false, "reduced sizes and trial counts")
+		format = flag.String("format", "ascii", "output format: ascii, markdown or csv")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-55s [%s]\n", e.ID, e.Title, e.Anchor)
+		}
+		return
+	}
+
+	selected := experiments.All()
+	if *ids != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*ids, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	for _, e := range selected {
+		start := time.Now()
+		res := e.Run(cfg)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		switch *format {
+		case "markdown":
+			fmt.Printf("## %s — %s\n\n*Paper anchor: %s. Wall time: %v.*\n\n", e.ID, e.Title, e.Anchor, elapsed)
+			for _, tb := range res.Tables {
+				fmt.Println(tb.Markdown())
+			}
+			for _, fig := range res.Figures {
+				fmt.Printf("```\n%s```\n\n", fig)
+			}
+		case "csv":
+			for _, tb := range res.Tables {
+				fmt.Printf("# %s\n%s\n", tb.Title, tb.CSV())
+			}
+		case "ascii":
+			fmt.Printf("=== %s — %s (%s; %v) ===\n\n", e.ID, e.Title, e.Anchor, elapsed)
+			for _, tb := range res.Tables {
+				fmt.Println(tb.Render())
+			}
+			for _, fig := range res.Figures {
+				fmt.Println(fig)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command journey answers route queries on a saved temporal network (the
+// tnet format written by cmd/gen or temporal.Encode): foremost, fewest-hop
+// and fastest journeys plus the latest feasible departure.
+//
+// Usage:
+//
+//	gen -family grid -n 36 -r 2 > g.tnet
+//	journey -net g.tnet -from 0 -to 35
+//	journey -net g.tnet -from 0            # table of all targets
+//	cat g.tnet | journey -from 3 -to 4     # reads stdin without -net
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/table"
+	"repro/internal/temporal"
+)
+
+func main() {
+	var (
+		netPath = flag.String("net", "", "tnet file (default stdin)")
+		from    = flag.Int("from", 0, "source vertex")
+		to      = flag.Int("to", -1, "target vertex (-1: summarize all targets)")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *netPath != "" {
+		f, err := os.Open(*netPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "journey: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	net, err := temporal.Decode(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "journey: %v\n", err)
+		os.Exit(1)
+	}
+	n := net.Graph().N()
+	if *from < 0 || *from >= n || *to >= n {
+		fmt.Fprintf(os.Stderr, "journey: vertex out of range [0,%d)\n", n)
+		os.Exit(2)
+	}
+	fmt.Println(net)
+
+	if *to >= 0 {
+		querySingle(net, *from, *to)
+		return
+	}
+	queryAll(net, *from)
+}
+
+func querySingle(net *temporal.Network, from, to int) {
+	fj, ok := net.ForemostJourney(from, to)
+	if !ok {
+		fmt.Printf("no journey from %d to %d\n", from, to)
+		return
+	}
+	sj, _ := net.ShortestJourney(from, to)
+	qj, _ := net.FastestJourney(from, to)
+	dep := net.LatestDepartures(to)
+
+	fmt.Printf("\nforemost     : %v  (arrives %d)\n", fj, fj.ArrivalTime())
+	fmt.Printf("fewest hops  : %v  (%d hops)\n", sj, len(sj))
+	dur := int32(0)
+	if len(qj) > 0 {
+		dur = qj.ArrivalTime() - qj[0].Label + 1
+	}
+	fmt.Printf("fastest      : %v  (duration %d)\n", qj, dur)
+	fmt.Printf("latest leave : t=%d\n", dep[from])
+}
+
+func queryAll(net *temporal.Network, from int) {
+	arr := net.EarliestArrivals(from)
+	hops := net.ShortestHops(from)
+	dur := net.FastestDurations(from)
+
+	tb := table.New(fmt.Sprintf("journeys from vertex %d", from),
+		"to", "foremost arrival", "min hops", "min duration")
+	reached := 0
+	for v := 0; v < net.Graph().N(); v++ {
+		if v == from {
+			continue
+		}
+		if arr[v] == temporal.Unreachable {
+			tb.AddRow(table.I(v), "-", "-", "-")
+			continue
+		}
+		reached++
+		tb.AddRow(table.I(v), table.I(int(arr[v])), table.I(int(hops[v])), table.I(int(dur[v])))
+	}
+	tb.AddNote("%d/%d targets reachable", reached, net.Graph().N()-1)
+	fmt.Println()
+	fmt.Print(tb.Render())
+}

@@ -1,0 +1,37 @@
+// Package repro is a production-quality Go reproduction of
+//
+//	E. C. Akrida, L. Gąsieniec, G. B. Mertzios, P. G. Spirakis,
+//	"Ephemeral Networks with Random Availability of Links: Diameter and
+//	Connectivity", SPAA 2014, pp. 267–276.
+//
+// The repository implements the paper's model (random temporal networks
+// over ephemeral graphs), its algorithms (the Expansion Process, the
+// flooding protocol, box labelings), every substrate the results rest on
+// (static graph algorithms, Erdős–Rényi connectivity, the random
+// phone-call model), and a benchmark harness regenerating an empirical
+// analogue of every theorem and figure.
+//
+// Layout:
+//
+//	internal/graph       static (di)graphs: CSR, generators, BFS/SCC/diameter
+//	internal/temporal    temporal networks: labels, journeys, foremost arrival,
+//	                     reachability, temporal diameter
+//	internal/assign      label assigners: UNI-CASE/F-CASE random, box labelings,
+//	                     star optima, double-tour OPT witnesses
+//	internal/core        the paper's contributions (Algorithm 1, §3.5 spreading,
+//	                     Theorem 5 prefix machinery, Price of Randomness)
+//	internal/phonecall   PUSH / PUSH-PULL rumor spreading baselines
+//	internal/dist        label distributions for the F-CASE
+//	internal/rng         deterministic splittable randomness
+//	internal/sim         parallel Monte-Carlo harness
+//	internal/stats       samples, confidence intervals, regression
+//	internal/table       ASCII/CSV/Markdown tables and ASCII plots
+//	internal/experiments experiment drivers E1–E14 (see DESIGN.md)
+//	cmd/...              command-line tools; examples/... runnable examples
+//
+// The root package holds the repository-level benchmarks (bench_test.go):
+// one benchmark per experiment table/figure plus micro-benchmarks of the
+// hot kernels. Run them with
+//
+//	go test -bench=. -benchmem .
+package repro

@@ -1,0 +1,20 @@
+// Package core implements the contributions of Akrida, Gąsieniec, Mertzios
+// and Spirakis, "Ephemeral Networks with Random Availability of Links:
+// Diameter and Connectivity" (SPAA 2014):
+//
+//   - the Expansion Process (Algorithm 1) that exhibits O(log n)-arrival
+//     journeys between any two vertices of the normalized uniform random
+//     temporal clique (Theorems 1–4),
+//   - the §3.5 flooding protocol and its dissemination time,
+//   - the lifetime lower-bound machinery of Theorem 5 (label-prefix
+//     subgraphs and their Erdős–Rényi connectivity),
+//   - the Price of Randomness of Sections 4–5: empirical estimation of
+//     r(n), the least per-edge number of random labels that guarantees
+//     temporal reachability with high probability, the star's 2-split
+//     journey analysis (Theorem 6), and the general-graph bounds of
+//     Theorems 7–8.
+//
+// Everything operates on temporal.Network instances produced by package
+// assign, so each routine is a deterministic function of its inputs; the
+// Monte-Carlo layer lives in package sim and in the experiment drivers.
+package core

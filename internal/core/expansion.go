@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/temporal"
+)
+
+// ExpansionConfig parameterizes Algorithm 1. The paper's analysis picks
+// enormous constants (c1 ≥ 33, c1·c2 ≥ 1024) to make union bounds close;
+// the defaults here are the small practical values the experiments sweep
+// around, with the same structure.
+type ExpansionConfig struct {
+	// C1 scales the three wide windows: W1 = max(1, round(C1·ln n)) labels
+	// for ∆₁ (out of s), ∆* (the matching window) and ∆'₁ (into t).
+	// Zero means the default 2.0.
+	C1 float64
+	// C2 is the width of each intermediate expansion window ∆ᵢ, i ≥ 2.
+	// Zero means the default 8.
+	C2 int
+	// D is the number of intermediate expansion steps per side; 0 derives
+	// it from the expected geometric growth so each side reaches ~√n.
+	D int
+	// TargetFrontier overrides the √n frontier goal used when deriving D.
+	TargetFrontier int
+	// AllowIntersection also declares success when the forward and reverse
+	// vertex sets intersect (a journey then exists through the common
+	// vertex without a matching edge). Algorithm 1 as published relies
+	// only on the ∆*-edge match, so this defaults to off; it exists for
+	// the ablation experiment.
+	AllowIntersection bool
+}
+
+func (c ExpansionConfig) withDefaults() ExpansionConfig {
+	if c.C1 == 0 {
+		c.C1 = 2.0
+	}
+	if c.C2 == 0 {
+		c.C2 = 8
+	}
+	return c
+}
+
+// ExpansionPlan is the window layout Algorithm 1 commits to before
+// revealing any labels: the ∆ᵢ, ∆* and ∆'ᵢ intervals partition (0, Bound].
+type ExpansionPlan struct {
+	// W1 is the width of the three wide windows.
+	W1 int32
+	// C2 is the width of each intermediate window.
+	C2 int32
+	// D is the number of intermediate steps per side.
+	D int
+	// Bound = 3·W1 + 2·D·C2 is the largest label the plan may use, hence
+	// an upper bound on the arrival time of any journey the process finds.
+	Bound int32
+	// AllowIntersection mirrors ExpansionConfig.
+	AllowIntersection bool
+}
+
+// PlanExpansion computes the window layout for an n-vertex network.
+func PlanExpansion(n int, cfg ExpansionConfig) ExpansionPlan {
+	cfg = cfg.withDefaults()
+	logn := math.Log(float64(n))
+	if n < 2 {
+		logn = 1
+	}
+	w1 := int32(math.Round(cfg.C1 * logn))
+	if w1 < 1 {
+		w1 = 1
+	}
+	d := cfg.D
+	if d == 0 {
+		target := cfg.TargetFrontier
+		if target == 0 {
+			target = int(math.Ceil(math.Sqrt(float64(n))))
+		}
+		// Expected frontier after ∆₁ is ~C1·ln n; each further window
+		// multiplies it by roughly C2/2 (the analysis brackets the growth
+		// between C2/8 and 3C2/4). Grow until the target is met.
+		f := float64(w1)
+		growth := float64(cfg.C2) / 2
+		if growth <= 1 {
+			growth = 1.5 // pessimistic floor so the loop terminates
+		}
+		for f < float64(target) && d < 64 {
+			f *= growth
+			d++
+		}
+	}
+	return ExpansionPlan{
+		W1:                w1,
+		C2:                int32(cfg.C2),
+		D:                 d,
+		Bound:             3*w1 + 2*int32(d)*int32(cfg.C2),
+		AllowIntersection: cfg.AllowIntersection,
+	}
+}
+
+// ForwardWindow returns ∆ᵢ for i = 1..D+1: the label interval (lo, hi]
+// that admits a vertex into Γᵢ(s).
+func (p ExpansionPlan) ForwardWindow(i int) (lo, hi int32) {
+	if i < 1 || i > p.D+1 {
+		panic(fmt.Sprintf("core: forward window %d out of 1..%d", i, p.D+1))
+	}
+	if i == 1 {
+		return 0, p.W1
+	}
+	return p.W1 + int32(i-2)*p.C2, p.W1 + int32(i-1)*p.C2
+}
+
+// MatchWindow returns ∆*, the interval the matching edge must hit.
+func (p ExpansionPlan) MatchWindow() (lo, hi int32) {
+	return p.W1 + int32(p.D)*p.C2, 2*p.W1 + int32(p.D)*p.C2
+}
+
+// ReverseWindow returns ∆'ᵢ for i = 1..D+1: the label interval admitting a
+// vertex into Γ'ᵢ(t). ∆'₁ is the latest window; higher i come earlier.
+func (p ExpansionPlan) ReverseWindow(i int) (lo, hi int32) {
+	if i < 1 || i > p.D+1 {
+		panic(fmt.Sprintf("core: reverse window %d out of 1..%d", i, p.D+1))
+	}
+	if i == 1 {
+		return 2*p.W1 + 2*int32(p.D)*p.C2, 3*p.W1 + 2*int32(p.D)*p.C2
+	}
+	return 2*p.W1 + int32(2*p.D-i+1)*p.C2, 2*p.W1 + int32(2*p.D-i+2)*p.C2
+}
+
+// ExpansionResult reports one run of the Expansion Process.
+type ExpansionResult struct {
+	// Success reports whether a journey from s to t was constructed.
+	Success bool
+	// Reason explains a failure: "window exceeds lifetime",
+	// "forward frontier died at step i", "reverse frontier died at step
+	// i", or "no matching edge". Empty on success.
+	Reason string
+	// Journey is the constructed s→t journey (nil on failure). Its hops
+	// use one label from each consecutive window, so its arrival time is
+	// at most Plan.Bound.
+	Journey temporal.Journey
+	// Arrival is the journey's arrival time, 0 on failure.
+	Arrival int32
+	// ForwardSizes[i] = |Γ_{i+1}(s)| and ReverseSizes[i] = |Γ'_{i+1}(t)|
+	// for i = 0..D, the frontier growth trace (Figure 1's data).
+	ForwardSizes, ReverseSizes []int
+	// ViaIntersection reports that success came from the ablation's
+	// set-intersection shortcut rather than a ∆*-matched edge.
+	ViaIntersection bool
+	// Plan echoes the window layout used.
+	Plan ExpansionPlan
+}
+
+// hopInto records how a vertex first entered a frontier.
+type hopInto struct {
+	pred  int32 // predecessor vertex (towards s for forward, towards t for reverse)
+	edge  int32
+	label int32
+}
+
+// Expansion runs Algorithm 1 on net from s to t. The network is typically
+// the normalized uniform random temporal directed clique, but any network
+// works: the process simply fails more often when the underlying graph is
+// sparse. s and t must differ.
+func Expansion(net *temporal.Network, s, t int, cfg ExpansionConfig) ExpansionResult {
+	if s == t {
+		panic("core: Expansion requires s != t")
+	}
+	g := net.Graph()
+	n := g.N()
+	plan := PlanExpansion(n, cfg)
+	res := ExpansionResult{Plan: plan}
+	if int(plan.Bound) > net.Lifetime() {
+		res.Reason = "window exceeds lifetime"
+		return res
+	}
+
+	// Forward expansion out of s. The target t is excluded from forward
+	// frontiers (and s from reverse ones) so the assembled journey never
+	// passes through its own endpoint; the published process leaves this
+	// implicit.
+	fwdSeen := bitset.New(n)
+	fwdSeen.Add(s)
+	fwdSeen.Add(t)
+	fwdHop := make([]hopInto, n)
+	frontier := []int32{int32(s)}
+	for i := 1; i <= plan.D+1; i++ {
+		lo, hi := plan.ForwardWindow(i)
+		next := expandStep(net, frontier, fwdSeen, lo, hi, fwdHop, false)
+		res.ForwardSizes = append(res.ForwardSizes, len(next))
+		if len(next) == 0 {
+			res.Reason = fmt.Sprintf("forward frontier died at step %d", i)
+			return res
+		}
+		frontier = next
+	}
+	fwdFinal := frontier
+
+	// Reverse expansion into t.
+	revSeen := bitset.New(n)
+	revSeen.Add(t)
+	revSeen.Add(s)
+	revHop := make([]hopInto, n)
+	frontier = []int32{int32(t)}
+	for i := 1; i <= plan.D+1; i++ {
+		lo, hi := plan.ReverseWindow(i)
+		next := expandStep(net, frontier, revSeen, lo, hi, revHop, true)
+		res.ReverseSizes = append(res.ReverseSizes, len(next))
+		if len(next) == 0 {
+			res.Reason = fmt.Sprintf("reverse frontier died at step %d", i)
+			return res
+		}
+		frontier = next
+	}
+	revFinal := frontier
+	revFinalSet := bitset.New(n)
+	for _, v := range revFinal {
+		revFinalSet.Add(int(v))
+	}
+
+	// Matching: one edge from Γ_{D+1}(s) to Γ'_{D+1}(t) labelled in ∆*.
+	mlo, mhi := plan.MatchWindow()
+	for _, u := range fwdFinal {
+		adj := g.OutNeighbors(int(u))
+		eids := g.OutEdges(int(u))
+		for k, v := range adj {
+			if !revFinalSet.Contains(int(v)) {
+				continue
+			}
+			if l, ok := net.LabelIn(int(eids[k]), mlo, mhi); ok {
+				res.Success = true
+				res.Journey = assembleJourney(fwdHop, revHop, int(u), int(v), int(eids[k]), l, s, t)
+				res.Arrival = res.Journey.ArrivalTime()
+				return res
+			}
+		}
+	}
+
+	if plan.AllowIntersection {
+		// Ablation shortcut: a vertex in both final sets yields a journey
+		// (forward arrival ≤ end of ∆_{D+1} < start of ∆'_{D+1} departure).
+		for _, u := range fwdFinal {
+			if revFinalSet.Contains(int(u)) {
+				res.Success = true
+				res.ViaIntersection = true
+				res.Journey = assembleThrough(fwdHop, revHop, int(u), s, t)
+				res.Arrival = res.Journey.ArrivalTime()
+				return res
+			}
+		}
+	}
+
+	res.Reason = "no matching edge"
+	return res
+}
+
+// expandStep grows one frontier: it returns the unseen vertices reachable
+// from the frontier by an edge labelled in (lo, hi], recording the hop that
+// admitted each. Reverse steps walk in-edges instead of out-edges.
+func expandStep(net *temporal.Network, frontier []int32, seen *bitset.Set, lo, hi int32, hops []hopInto, reverse bool) []int32 {
+	g := net.Graph()
+	var next []int32
+	for _, u := range frontier {
+		var adj, eids []int32
+		if reverse {
+			adj, eids = g.InNeighbors(int(u)), g.InEdges(int(u))
+		} else {
+			adj, eids = g.OutNeighbors(int(u)), g.OutEdges(int(u))
+		}
+		for k, v := range adj {
+			if seen.Contains(int(v)) {
+				continue
+			}
+			if l, ok := net.LabelIn(int(eids[k]), lo, hi); ok {
+				seen.Add(int(v))
+				hops[v] = hopInto{pred: u, edge: eids[k], label: l}
+				next = append(next, v)
+			}
+		}
+	}
+	return next
+}
+
+// assembleJourney builds s →…→ u —(match)→ v →…→ t from the recorded hops.
+func assembleJourney(fwdHop, revHop []hopInto, u, v, matchEdge int, matchLabel int32, s, t int) temporal.Journey {
+	j := forwardPath(fwdHop, u, s)
+	j = append(j, temporal.Hop{From: u, To: v, Edge: matchEdge, Label: matchLabel})
+	j = append(j, reversePath(revHop, v, t)...)
+	return j
+}
+
+// assembleThrough builds s →…→ u →…→ t when u sits in both final sets.
+func assembleThrough(fwdHop, revHop []hopInto, u, s, t int) temporal.Journey {
+	j := forwardPath(fwdHop, u, s)
+	j = append(j, reversePath(revHop, u, t)...)
+	return j
+}
+
+// forwardPath traces the recorded forward hops from s to u.
+func forwardPath(fwdHop []hopInto, u, s int) temporal.Journey {
+	var rev temporal.Journey
+	for cur := u; cur != s; {
+		h := fwdHop[cur]
+		rev = append(rev, temporal.Hop{From: int(h.pred), To: cur, Edge: int(h.edge), Label: h.label})
+		cur = int(h.pred)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// reversePath traces the recorded reverse hops from v to t. In the reverse
+// expansion, hops[x].pred is the vertex x sends to (one step closer to t).
+func reversePath(revHop []hopInto, v, t int) temporal.Journey {
+	var out temporal.Journey
+	for cur := v; cur != t; {
+		h := revHop[cur]
+		out = append(out, temporal.Hop{From: cur, To: int(h.pred), Edge: int(h.edge), Label: h.label})
+		cur = int(h.pred)
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestReachabilityRateCliqueIsOne(t *testing.T) {
+	// The clique satisfies Treach with any labels (direct edges).
+	g := graph.Clique(10, false)
+	rate, lo, hi := ReachabilityRate(g, 10, 1, 30, 1)
+	if rate != 1 {
+		t.Fatalf("clique rate = %v, want 1", rate)
+	}
+	if lo > 1 || hi != 1 {
+		t.Fatalf("CI = [%v,%v]", lo, hi)
+	}
+}
+
+func TestReachabilityRateStarSingleLabelLow(t *testing.T) {
+	g := graph.Star(24)
+	rate, _, _ := ReachabilityRate(g, 24, 1, 40, 2)
+	if rate > 0.2 {
+		t.Fatalf("star r=1 rate = %v, want near 0", rate)
+	}
+}
+
+func TestReachabilityRateMonotoneInR(t *testing.T) {
+	g := graph.Star(16)
+	r1, _, _ := ReachabilityRate(g, 16, 1, 60, 3)
+	r8, _, _ := ReachabilityRate(g, 16, 8, 60, 3)
+	r32, _, _ := ReachabilityRate(g, 16, 32, 60, 3)
+	if !(r1 <= r8+0.1 && r8 <= r32+0.1) {
+		t.Fatalf("rates not (noisily) monotone: %v %v %v", r1, r8, r32)
+	}
+	if r32 < 0.95 {
+		t.Fatalf("r=32 on K_{1,15} should almost surely reach: %v", r32)
+	}
+}
+
+func TestEstimateRStarLogarithmic(t *testing.T) {
+	// Theorem 6: r(n) = Θ(log n) for the star. For n=32, log2 n = 5; the
+	// threshold should land in a small-constant multiple of that — and far
+	// below n.
+	g := graph.Star(32)
+	r, ok := EstimateR(g, 32, WHPTarget(32), 60, 4, 256)
+	if !ok {
+		t.Fatal("EstimateR did not converge")
+	}
+	if r < 2 || r > 64 {
+		t.Fatalf("r(32) = %d, expected a few·log n", r)
+	}
+}
+
+func TestEstimateRCliqueIsOne(t *testing.T) {
+	g := graph.Clique(12, false)
+	r, ok := EstimateR(g, 12, WHPTarget(12), 30, 5, 8)
+	if !ok || r != 1 {
+		t.Fatalf("r(clique) = %d,%v, want 1", r, ok)
+	}
+}
+
+func TestEstimateRUnreachableTarget(t *testing.T) {
+	// A path with lifetime 1 can never satisfy Treach (needs 2 increasing
+	// labels): EstimateR must hit rMax and report failure.
+	g := graph.Path(4)
+	r, ok := EstimateR(g, 1, 0.9, 10, 6, 4)
+	if ok {
+		t.Fatalf("EstimateR claimed success with r=%d", r)
+	}
+	if r != 4 {
+		t.Fatalf("r = %d, want rMax", r)
+	}
+}
+
+func TestEstimateRPanics(t *testing.T) {
+	g := graph.Path(3)
+	for name, fn := range map[string]func(){
+		"target-0": func() { EstimateR(g, 3, 0, 5, 1, 4) },
+		"target-2": func() { EstimateR(g, 3, 2, 5, 1, 4) },
+		"rmax-0":   func() { EstimateR(g, 3, 0.5, 5, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWHPTarget(t *testing.T) {
+	if got := WHPTarget(100); got != 0.99 {
+		t.Fatalf("WHPTarget(100) = %v", got)
+	}
+	if got := WHPTarget(1); got != 1 {
+		t.Fatalf("WHPTarget(1) = %v", got)
+	}
+}
+
+func TestPoR(t *testing.T) {
+	if got := PoR(10, 6, 20); got != 3 {
+		t.Fatalf("PoR = %v, want 3", got)
+	}
+	if !math.IsNaN(PoR(10, 6, 0)) {
+		t.Fatal("PoR with opt=0 should be NaN")
+	}
+}
+
+func TestTheoremSevenR(t *testing.T) {
+	// 2·d·ln n for d=2, n=100: 2·2·4.605 ≈ 18.42 → 19.
+	if got := TheoremSevenR(100, 2); got != 19 {
+		t.Fatalf("TheoremSevenR = %d, want 19", got)
+	}
+	if got := TheoremSevenR(1, 5); got != 1 {
+		t.Fatalf("degenerate TheoremSevenR = %d", got)
+	}
+}
+
+func TestTheoremEightPoRBound(t *testing.T) {
+	// (2·d·ln n)·m/(n−1) for n=100, m=200, d=3.
+	want := 2 * 3 * math.Log(100) * 200 / 99
+	if got := TheoremEightPoRBound(100, 200, 3); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("bound = %v, want %v", got, want)
+	}
+}
+
+func TestBoxCoverageFailureBound(t *testing.T) {
+	// With r = 2·d·ln n labels, the bound must dip below 1/n per edge
+	// (that is the Theorem 7 proof's driving inequality).
+	n, d := 64, 4
+	q := 4 * d
+	r := TheoremSevenR(n, d)
+	b := BoxCoverageFailureBound(q, d, r)
+	if b > 1/float64(n) {
+		t.Fatalf("failure bound %v not below 1/n", b)
+	}
+	// More labels shrink the bound.
+	if BoxCoverageFailureBound(q, d, r+10) >= b {
+		t.Fatal("bound not decreasing in r")
+	}
+	if BoxCoverageFailureBound(3, 0, 5) != 0 {
+		t.Fatal("degenerate bound should be 0")
+	}
+}
+
+func TestTheoremSevenRSatisfiesReachability(t *testing.T) {
+	// End-to-end Theorem 7 check on a modest graph: r = 2·d·ln n uniform
+	// labels per edge should give empirical Pr[Treach] ≈ 1.
+	g := graph.Cycle(24) // d = 12
+	d, _ := graph.Diameter(g)
+	r := TheoremSevenR(g.N(), d)
+	rate, _, _ := ReachabilityRate(g, g.N(), r, 30, 7)
+	if rate < 0.95 {
+		t.Fatalf("Theorem 7 r=%d gave rate %v on C_24", r, rate)
+	}
+}

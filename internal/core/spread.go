@@ -1,0 +1,109 @@
+package core
+
+import (
+	"repro/internal/temporal"
+)
+
+// SpreadResult reports one run of the §3.5 flooding protocol from a source:
+// every vertex holding the message forwards it on each of its arcs the
+// moment that arc becomes available.
+type SpreadResult struct {
+	// Source is the originating vertex.
+	Source int
+	// InformedAt[v] is the time vertex v first held the message
+	// (0 for the source, temporal.Unreachable if never informed). It
+	// equals the temporal distance δ(source, v).
+	InformedAt []int32
+	// Informed counts informed vertices, including the source.
+	Informed int
+	// All reports whether every vertex was informed.
+	All bool
+	// CompletionTime is the time the last informed vertex received the
+	// message — the broadcast time when All is true.
+	CompletionTime int32
+	// Transmissions counts every send the oblivious protocol performs: a
+	// time edge (u,v,l) triggers a send whenever u was informed before l
+	// (and, on undirected edges, symmetrically for v). On the clique this
+	// is Θ(n²) — the §1.1 phone-call comparison measures exactly this
+	// waste.
+	Transmissions int
+	// UsefulTransmissions counts sends that informed a new vertex
+	// (= Informed − 1).
+	UsefulTransmissions int
+	// Timeline is the cumulative informed count after each time step at
+	// which at least one vertex became informed, in increasing time order
+	// — the data behind the coverage figure.
+	Timeline []CoveragePoint
+}
+
+// CoveragePoint is one step of the dissemination timeline.
+type CoveragePoint struct {
+	Time     int32
+	Informed int
+}
+
+// Spread simulates the flooding protocol event-by-event (time edges in
+// label order). Because the protocol forwards greedily, InformedAt equals
+// the earliest-arrival vector; the event-driven run additionally counts
+// transmissions and builds the coverage timeline.
+func Spread(net *temporal.Network, source int) SpreadResult {
+	g := net.Graph()
+	n := g.N()
+	res := SpreadResult{Source: source}
+	informedAt := make([]int32, n)
+	for i := range informedAt {
+		informedAt[i] = temporal.Unreachable
+	}
+	informedAt[source] = 0
+	informed := 1
+	directed := g.Directed()
+
+	var timeline []CoveragePoint
+	record := func(t int32) {
+		if len(timeline) > 0 && timeline[len(timeline)-1].Time == t {
+			timeline[len(timeline)-1].Informed = informed
+			return
+		}
+		timeline = append(timeline, CoveragePoint{Time: t, Informed: informed})
+	}
+	record(0)
+
+	transmissions := 0
+	net.TimeEdges(func(e, u, v int, l int32) {
+		// u sends if informed strictly before l; likewise v on undirected
+		// edges. Arrival updates keep the strict-increase rule.
+		if informedAt[u] < l {
+			transmissions++
+			if l < informedAt[v] {
+				if informedAt[v] == temporal.Unreachable {
+					informed++
+				}
+				informedAt[v] = l
+				record(l)
+			}
+		}
+		if !directed && informedAt[v] < l {
+			transmissions++
+			if l < informedAt[u] {
+				if informedAt[u] == temporal.Unreachable {
+					informed++
+				}
+				informedAt[u] = l
+				record(l)
+			}
+		}
+	})
+
+	res.InformedAt = informedAt
+	res.Informed = informed
+	res.All = informed == n
+	res.Transmissions = transmissions
+	res.UsefulTransmissions = informed - 1
+	res.Timeline = timeline
+	for _, a := range informedAt {
+		if a != temporal.Unreachable && a > res.CompletionTime {
+			res.CompletionTime = a
+		}
+	}
+	return res
+}

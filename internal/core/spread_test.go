@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/assign"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/temporal"
+)
+
+func TestSpreadHandExample(t *testing.T) {
+	// Directed path 0→1→2 with labels 2 and 5.
+	b := graph.NewBuilder(3, true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	net := temporal.MustNew(b.Build(), 10, temporal.LabelingFromSets([][]int{{2}, {5}}))
+	res := Spread(net, 0)
+	if !res.All || res.Informed != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.CompletionTime != 5 {
+		t.Fatalf("completion = %d, want 5", res.CompletionTime)
+	}
+	if res.InformedAt[1] != 2 || res.InformedAt[2] != 5 {
+		t.Fatalf("informedAt = %v", res.InformedAt)
+	}
+	// Both sends carried the message to a new vertex: 2 transmissions, 2
+	// useful.
+	if res.Transmissions != 2 || res.UsefulTransmissions != 2 {
+		t.Fatalf("transmissions = %d/%d", res.Transmissions, res.UsefulTransmissions)
+	}
+	// Timeline: t=0 (1 informed), t=2 (2), t=5 (3).
+	want := []CoveragePoint{{0, 1}, {2, 2}, {5, 3}}
+	if len(res.Timeline) != len(want) {
+		t.Fatalf("timeline = %v", res.Timeline)
+	}
+	for i := range want {
+		if res.Timeline[i] != want[i] {
+			t.Fatalf("timeline = %v, want %v", res.Timeline, want)
+		}
+	}
+}
+
+func TestSpreadCountsWastedTransmissions(t *testing.T) {
+	// Triangle, all edges available late: informed nodes fire on every
+	// available arc even when the receiver already knows.
+	g := graph.Clique(3, false)
+	// Edge ids: {0,1}=0, {0,2}=1, {1,2}=2.
+	net := temporal.MustNew(g, 10, temporal.LabelingFromSets([][]int{{1}, {2}, {3}}))
+	res := Spread(net, 0)
+	if !res.All {
+		t.Fatalf("res = %+v", res)
+	}
+	// t=1: 0 sends to 1 (useful). t=2: 0 sends to 2 (useful), and 1 sends
+	// back to 0 over edge {0,1}? No: edge {0,1} has no label 2. t=3: edge
+	// {1,2} fires; both 1 and 2 are informed before 3, so both send: 2
+	// wasted transmissions.
+	if res.UsefulTransmissions != 2 {
+		t.Fatalf("useful = %d", res.UsefulTransmissions)
+	}
+	if res.Transmissions != 4 {
+		t.Fatalf("transmissions = %d, want 4 (2 useful + 2 wasted)", res.Transmissions)
+	}
+}
+
+func TestSpreadStrictIncreaseAtSameLabel(t *testing.T) {
+	// 0→1 and 1→2 both at time 3: the message cannot chain within one
+	// time step.
+	b := graph.NewBuilder(3, true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	net := temporal.MustNew(b.Build(), 5, temporal.LabelingFromSets([][]int{{3}, {3}}))
+	res := Spread(net, 0)
+	if res.All {
+		t.Fatal("message chained within a single time step")
+	}
+	if res.Informed != 2 {
+		t.Fatalf("informed = %d", res.Informed)
+	}
+	if res.InformedAt[2] != temporal.Unreachable {
+		t.Fatalf("informedAt[2] = %d", res.InformedAt[2])
+	}
+}
+
+func TestSpreadUnreachable(t *testing.T) {
+	b := graph.NewBuilder(3, false)
+	b.AddEdge(0, 1)
+	// vertex 2 isolated
+	net := temporal.MustNew(b.Build(), 5, temporal.LabelingFromSets([][]int{{1}}))
+	res := Spread(net, 0)
+	if res.All || res.Informed != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.CompletionTime != 1 {
+		t.Fatalf("completion = %d (should cover informed set only)", res.CompletionTime)
+	}
+}
+
+func TestSpreadCliqueLogarithmic(t *testing.T) {
+	// §3.5: flooding the normalized URT clique completes in O(log n) whp.
+	const n = 512
+	var worst int32
+	const trials = 15
+	completed := 0
+	for seed := uint64(0); seed < trials; seed++ {
+		net := urtClique(n, 100+seed)
+		res := Spread(net, int(seed)%n)
+		if res.All {
+			completed++
+			if res.CompletionTime > worst {
+				worst = res.CompletionTime
+			}
+		}
+	}
+	if completed < trials-1 {
+		t.Fatalf("flooding completed only %d/%d", completed, trials)
+	}
+	// γ·ln n with a generous γ = 8: 8·6.24 ≈ 50 ≪ 512.
+	bound := int32(8 * math.Log(float64(n)))
+	if worst > bound {
+		t.Fatalf("worst completion %d exceeds %d (= 8·ln n)", worst, bound)
+	}
+}
+
+func TestSpreadTimelineMonotone(t *testing.T) {
+	net := urtClique(128, 9)
+	res := Spread(net, 0)
+	for i := 1; i < len(res.Timeline); i++ {
+		if res.Timeline[i].Time <= res.Timeline[i-1].Time {
+			t.Fatalf("timeline times not increasing: %v", res.Timeline)
+		}
+		if res.Timeline[i].Informed <= res.Timeline[i-1].Informed {
+			t.Fatalf("timeline counts not increasing: %v", res.Timeline)
+		}
+	}
+	lastCount := res.Timeline[len(res.Timeline)-1].Informed
+	if lastCount != res.Informed {
+		t.Fatalf("timeline end %d != informed %d", lastCount, res.Informed)
+	}
+}
+
+// Property: Spread's InformedAt equals the earliest-arrival vector — the
+// flooding protocol is exactly foremost dissemination.
+func TestQuickSpreadMatchesEarliestArrival(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, directed bool) bool {
+		r := rng.New(seed)
+		n := int(nRaw)%20 + 2
+		g := graph.Gnp(n, 0.3, directed, r)
+		lifetime := n + 3
+		lab := assign.Uniform(g, lifetime, 1, r)
+		net := temporal.MustNew(g, lifetime, lab)
+		s := int(seed % uint64(n))
+		res := Spread(net, s)
+		arr := net.EarliestArrivals(s)
+		for v := range arr {
+			if res.InformedAt[v] != arr[v] {
+				return false
+			}
+		}
+		// CompletionTime must match the finite max.
+		var want int32
+		for _, a := range arr {
+			if a != temporal.Unreachable && a > want {
+				want = a
+			}
+		}
+		return res.CompletionTime == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transmissions ≥ useful transmissions = informed−1, and every
+// time edge can fire at most twice (once per direction).
+func TestQuickSpreadTransmissionBounds(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw)%16 + 2
+		g := graph.Gnp(n, 0.5, false, r)
+		lifetime := 2 * n
+		lab := assign.Uniform(g, lifetime, 2, r)
+		net := temporal.MustNew(g, lifetime, lab)
+		res := Spread(net, 0)
+		if res.UsefulTransmissions != res.Informed-1 {
+			return false
+		}
+		if res.Transmissions < res.UsefulTransmissions {
+			return false
+		}
+		return res.Transmissions <= 2*net.LabelCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSpreadClique512(b *testing.B) {
+	net := urtClique(512, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Spread(net, i%512)
+	}
+}

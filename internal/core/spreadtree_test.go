@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/assign"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/temporal"
+)
+
+func TestSpreadTreeHandExample(t *testing.T) {
+	// 0 -(2)-> 1 -(5)-> 2 (directed chain).
+	b := graph.NewBuilder(3, true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	net := temporal.MustNew(b.Build(), 10, temporal.LabelingFromSets([][]int{{2}, {5}}))
+	tr := BuildSpreadTree(net, 0)
+	if tr.Informed() != 3 {
+		t.Fatalf("informed = %d", tr.Informed())
+	}
+	if tr.Parent[1] != 0 || tr.Parent[2] != 1 || tr.Parent[0] != -1 {
+		t.Fatalf("parents = %v", tr.Parent)
+	}
+	if tr.HopDepth[2] != 2 || tr.MaxDepth() != 2 {
+		t.Fatalf("depths = %v", tr.HopDepth)
+	}
+	h := tr.DepthHistogram()
+	if len(h) != 3 || h[0] != 1 || h[1] != 1 || h[2] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+	j := tr.PathToRoot(2)
+	if err := j.Validate(net); err != nil {
+		t.Fatal(err)
+	}
+	if j.ArrivalTime() != 5 || j.From() != 0 || j.To() != 2 {
+		t.Fatalf("path = %v", j)
+	}
+}
+
+func TestSpreadTreeUninformed(t *testing.T) {
+	b := graph.NewBuilder(3, true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	net := temporal.MustNew(b.Build(), 10, temporal.LabelingFromSets([][]int{{4}, {4}}))
+	tr := BuildSpreadTree(net, 0)
+	if tr.Informed() != 2 {
+		t.Fatalf("informed = %d", tr.Informed())
+	}
+	if tr.PathToRoot(2) != nil {
+		t.Fatal("uninformed vertex should have nil path")
+	}
+	if tr.HopDepth[2] != -1 || tr.Edge[2] != -1 {
+		t.Fatal("uninformed vertex should have sentinel fields")
+	}
+}
+
+func TestSpreadTreeSourcePath(t *testing.T) {
+	net := urtClique(32, 3)
+	tr := BuildSpreadTree(net, 5)
+	j := tr.PathToRoot(5)
+	if j == nil || len(j) != 0 {
+		t.Fatalf("source path = %v", j)
+	}
+}
+
+func TestSpreadTreeCliqueDepthLogarithmic(t *testing.T) {
+	// Depth of the foremost broadcast tree on the URT clique is O(log n):
+	// each hop label strictly increases and the whole tree finishes by
+	// ~γ·ln n, so depth ≤ completion time; check a stronger practical
+	// bound.
+	net := urtClique(512, 7)
+	tr := BuildSpreadTree(net, 0)
+	if tr.Informed() != 512 {
+		t.Skip("rare incomplete spread; skip rather than flake")
+	}
+	if tr.MaxDepth() > 25 {
+		t.Fatalf("tree depth %d too large for n=512", tr.MaxDepth())
+	}
+}
+
+// Property: the spread tree agrees with Spread (same informed times), its
+// depth histogram sums to the informed count, and every root path
+// validates as a journey arriving exactly at InformedAt[v].
+func TestQuickSpreadTreeConsistent(t *testing.T) {
+	f := func(seed uint64, directed bool) bool {
+		r := rng.New(seed)
+		n := r.Intn(16) + 3
+		g := graph.Gnp(n, 0.4, directed, r)
+		lifetime := n + 4
+		lab := assign.Uniform(g, lifetime, 1, r)
+		net := temporal.MustNew(g, lifetime, lab)
+		src := int(seed % uint64(n))
+		tr := BuildSpreadTree(net, src)
+		sp := Spread(net, src)
+		total := 0
+		for v := 0; v < n; v++ {
+			if tr.InformedAt[v] != sp.InformedAt[v] {
+				return false
+			}
+			if tr.InformedAt[v] == temporal.Unreachable {
+				continue
+			}
+			total++
+			j := tr.PathToRoot(v)
+			if j == nil && v != src {
+				return false
+			}
+			if err := j.Validate(net); err != nil {
+				return false
+			}
+			if v != src && j.ArrivalTime() != tr.InformedAt[v] {
+				return false
+			}
+		}
+		sum := 0
+		for _, c := range tr.DepthHistogram() {
+			sum += c
+		}
+		return sum == total && total == tr.Informed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/temporal"
+)
+
+// Theorem 6 machinery: 2-split journeys in the star K_{1,n−1} (Figure 2).
+// A 2-split (u₁,u₂)-journey hops from leaf u₁ to the center with a label in
+// the early half of the lifetime and on to leaf u₂ with a label in the late
+// half. With ρ·log n uniform labels per edge every ordered leaf pair has
+// one whp (part a); with log n/β(n) labels some pair whp has no journey at
+// all (part b).
+
+// TwoSplitStats summarizes the 2-split structure of a star network.
+type TwoSplitStats struct {
+	// Leaves is the number of leaves m (= edges of the star).
+	Leaves int
+	// EarlyEdges / LateEdges count leaf edges carrying at least one label
+	// in [1, a/2] and in (a/2, a] respectively.
+	EarlyEdges, LateEdges int
+	// OrderedPairsWithSplit counts ordered leaf pairs (u₁,u₂), u₁ ≠ u₂,
+	// admitting a 2-split journey.
+	OrderedPairsWithSplit int64
+	// OrderedPairs is the total number of ordered leaf pairs m·(m−1).
+	OrderedPairs int64
+}
+
+// Fraction returns the fraction of ordered leaf pairs with a 2-split
+// journey (1 for degenerate stars with fewer than two leaves).
+func (s TwoSplitStats) Fraction() float64 {
+	if s.OrderedPairs == 0 {
+		return 1
+	}
+	return float64(s.OrderedPairsWithSplit) / float64(s.OrderedPairs)
+}
+
+// AllPairs reports whether every ordered leaf pair has a 2-split journey —
+// the event whose probability part (a) of Theorem 6 lower-bounds.
+func (s TwoSplitStats) AllPairs() bool {
+	return s.OrderedPairsWithSplit == s.OrderedPairs
+}
+
+// TwoSplit analyzes a star network (as built by graph.Star: center 0, edge
+// e joins the center to leaf e+1). The half boundary is ⌊a/2⌋: early
+// labels are ≤ it, late labels are > it. A 2-split (u₁,u₂)-journey exists
+// iff edge(u₁) has an early label and edge(u₂) a late one, so the count
+// reduces to the early/late edge tallies.
+func TwoSplit(net *temporal.Network) TwoSplitStats {
+	g := net.Graph()
+	m := g.M()
+	half := int32(net.Lifetime() / 2)
+	res := TwoSplitStats{Leaves: m}
+	var early, late, both int64
+	for e := 0; e < m; e++ {
+		hasEarly := net.HasLabelIn(e, 0, half)
+		hasLate := net.HasLabelIn(e, half, int32(net.Lifetime()))
+		if hasEarly {
+			early++
+			res.EarlyEdges++
+		}
+		if hasLate {
+			late++
+			res.LateEdges++
+		}
+		if hasEarly && hasLate {
+			both++
+		}
+	}
+	// Ordered pairs (u1,u2): early(u1) ∧ late(u2), u1 ≠ u2.
+	res.OrderedPairsWithSplit = early*late - both
+	res.OrderedPairs = int64(m) * int64(m-1)
+	return res
+}
+
+// TwoSplitPairFailureBound is part (a)'s per-pair failure bound 2/n^{ρ/2}
+// for r = ρ·log n labels per edge (each side of the split misses with
+// probability 2^{−r} ≤ n^{−ρ/2}... the union of the two sides doubles it).
+func TwoSplitPairFailureBound(n int, rho float64) float64 {
+	if n < 2 {
+		return 0
+	}
+	return 2 / math.Pow(float64(n), rho/2)
+}
+
+// TwoSplitAllPairsFailureBound is the union bound n(n−1)·2/n^{ρ/2} over
+// ordered pairs used at the end of part (a); it is < 2/n² once ρ > 8.
+func TwoSplitAllPairsFailureBound(n int, rho float64) float64 {
+	if n < 2 {
+		return 0
+	}
+	b := float64(n) * float64(n-1) * TwoSplitPairFailureBound(n, rho)
+	if b > 1 {
+		return 1
+	}
+	return b
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/assign"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/table"
+	"repro/internal/temporal"
+)
+
+// E12Distributions realizes the F-CASE of the paper's §2 note: labels drawn
+// from non-uniform laws at equal per-edge budget. Two regimes emerge:
+//
+//   - On the clique, the temporal diameter tracks *where the label mass
+//     sits*: early-concentrated laws (geometric, zipf) disseminate fastest
+//     because short journeys find increasing labels immediately, while a
+//     mid-peaked binomial stalls until its mass arrives near a/2.
+//   - On sparse graphs needing long journeys (the path), early
+//     concentration is fatal: a d-hop journey needs d distinct increasing
+//     labels, and laws that starve the late timeline cannot supply them —
+//     uniform wins decisively at the same budget.
+func E12Distributions(cfg Config) Result {
+	n := 256
+	trials := 25
+	if cfg.Quick {
+		n = 96
+		trials = 8
+	}
+	g := graph.Clique(n, true)
+	laws := func(a int) []dist.Distribution {
+		return []dist.Distribution{
+			dist.NewUniform(a),
+			dist.NewBinomial(0.5, a),
+			dist.NewGeometric(2/float64(a), a),
+			dist.NewGeometric(8/float64(a), a),
+			dist.NewZipf(1.1, a),
+		}
+	}
+
+	tb := table.New(
+		"E12: F-RTN clique with one label per edge under different label laws (§2 note)",
+		"law", "TD mean (reached)", "±95%", "all-reach rate", "mean δ finite", "mean label",
+	)
+	for _, law := range laws(n) {
+		res := sim.Runner{Trials: trials, Seed: cfg.Seed + uint64(len(law.Name()))<<9}.Run(func(trial int, stream *rng.Stream) sim.Metrics {
+			lab := assign.FromDistribution(g, law, 1, stream)
+			net := temporal.MustNew(g, n, lab)
+			d := serialDiameter(net, 96, stream)
+			m := sim.Metrics{"reach": 0, "meanDelta": d.MeanFinite}
+			if d.AllReachable {
+				m["reach"] = 1
+				m["td"] = float64(d.Max)
+			}
+			var sum float64
+			for e := 0; e < g.M(); e++ {
+				sum += float64(net.EdgeLabels(e)[0])
+			}
+			m["meanLabel"] = sum / float64(g.M())
+			return m
+		})
+		td := res.Sample("td")
+		tb.AddRow(
+			law.Name(),
+			table.F(td.Mean(), 2), table.F(td.CI95(), 2),
+			table.F(res.Rate("reach"), 3),
+			table.F(res.Sample("meanDelta").Mean(), 2),
+			table.F(res.Sample("meanLabel").Mean(), 1),
+		)
+	}
+	tb.AddNote("n=%d, one label per edge; uniform is the paper's UNI-CASE row", n)
+	tb.AddNote("TD tracks where the label mass sits: early-heavy laws disseminate fastest on the clique,")
+	tb.AddNote("the mid-peaked binomial stalls until ~a/2 — dissemination starts when availability mass arrives")
+	tb.AddNote("trials=%d seed=%d", trials, cfg.Seed)
+
+	// The sparse-graph counterpoint: a path needs d-hop journeys with d
+	// distinct increasing labels, so early-concentrated laws break
+	// reachability at a budget where uniform succeeds.
+	np := 32
+	if cfg.Quick {
+		np = 16
+	}
+	path := graph.Path(np)
+	diam, _ := graph.Diameter(path)
+	r := int(math.Ceil(float64(diam) * math.Log(float64(np)))) // c=1 of E7's sweep: enough for uniform
+	tb2 := table.New(
+		"E12b: same label budget on the path — early concentration breaks long journeys",
+		"law", "r/edge", "Pr[Treach]", "mean label",
+	)
+	for _, law := range laws(np) {
+		res := sim.Runner{Trials: trials * 2, Seed: cfg.Seed ^ 0xE12B + uint64(len(law.Name()))}.Run(func(trial int, stream *rng.Stream) sim.Metrics {
+			lab := assign.FromDistribution(path, law, r, stream)
+			net := temporal.MustNew(path, np, lab)
+			ok := 0.0
+			if temporal.SatisfiesTreachSerial(net, nil) {
+				ok = 1
+			}
+			var sum float64
+			cnt := 0
+			for e := 0; e < path.M(); e++ {
+				for _, l := range net.EdgeLabels(e) {
+					sum += float64(l)
+					cnt++
+				}
+			}
+			return sim.Metrics{"reach": ok, "meanLabel": sum / float64(cnt)}
+		})
+		tb2.AddRow(
+			law.Name(), table.I(r),
+			table.F(res.Rate("reach"), 3),
+			table.F(res.Sample("meanLabel").Mean(), 1),
+		)
+	}
+	tb2.AddNote("path on %d vertices (diameter %d), r = d·ln n per edge — the budget at which uniform reaches ~1.0 in E7", np, diam)
+	tb2.AddNote("a %d-hop journey needs %d strictly increasing labels: laws starving the late timeline cannot supply them", diam, diam)
+	return Result{Tables: []*table.Table{tb, tb2}}
+}

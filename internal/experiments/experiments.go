@@ -1,0 +1,114 @@
+// Package experiments contains the drivers that regenerate every empirical
+// analogue of the paper's results (see DESIGN.md §3 for the experiment
+// index). Each driver is a pure function of its Config, returning rendered
+// tables and ASCII figures; the cmd/ tools, the root benchmarks and
+// EXPERIMENTS.md all call the same code.
+package experiments
+
+import (
+	"repro/internal/rng"
+	"repro/internal/table"
+	"repro/internal/temporal"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// Seed is the base Monte-Carlo seed; every reported number is a
+	// deterministic function of it.
+	Seed uint64
+	// Quick shrinks sizes and trial counts to bench/CI scale. Full runs
+	// (Quick=false) use the sizes reported in EXPERIMENTS.md.
+	Quick bool
+}
+
+// Result is a completed experiment: tables and ASCII figures.
+type Result struct {
+	Tables  []*table.Table
+	Figures []string
+}
+
+// Experiment couples an experiment id to its driver.
+type Experiment struct {
+	// ID is the DESIGN.md experiment id, e.g. "E1".
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Anchor names the paper result being reproduced.
+	Anchor string
+	// Run executes the experiment.
+	Run func(Config) Result
+}
+
+// All returns every experiment in id order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Temporal diameter of the normalized URT clique", "Theorems 3–4 + Ω(log n) remark", E1Diameter},
+		{"E2", "Temporal diameter vs lifetime", "Theorem 5", E2Lifetime},
+		{"E3", "Expansion Process success and arrival times", "Algorithm 1, Fig. 1, Theorem 3", E3Expansion},
+		{"E4", "Flooding dissemination on the URT clique", "Section 3.5", E4Spread},
+		{"E5", "Star reachability phase transition", "Theorem 6(a,b), Fig. 2", E5StarReachability},
+		{"E6", "Price of Randomness on the star", "Theorem 6", E6StarPoR},
+		{"E7", "Reachability with r = c·d·ln n labels", "Theorem 7, Claim 1, Fig. 3", E7GeneralReachability},
+		{"E8", "Price of Randomness bounds on general graphs", "Theorem 8", E8PoRGeneral},
+		{"E9", "Erdős–Rényi connectivity threshold", "Theorem 5 proof substrate", E9GnpConnectivity},
+		{"E10", "Random phone-call baselines vs flooding", "Section 1.1", E10PhoneCall},
+		{"E11", "Multi-label clique ablation", "Section 2 note (multi-label)", E11MultiLabel},
+		{"E12", "F-RTN label-law ablation", "Section 2 note (F-CASE)", E12Distributions},
+		{"E13", "Directed vs undirected clique", "Remark 1", E13Remark1},
+		{"E14", "Availability windows (interval bridge)", "Section 1.2 (continuous availabilities)", E14Windows},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// serialDiameter computes the instance temporal diameter with at most
+// maxSources earliest-arrival passes, run serially — the right shape inside
+// already-parallel Monte-Carlo trials. When n > maxSources the sources are
+// a uniform sample and the result is a lower estimate of the true max.
+func serialDiameter(net *temporal.Network, maxSources int, r *rng.Stream) temporal.DiameterResult {
+	n := net.Graph().N()
+	var sources []int
+	if n <= maxSources {
+		sources = make([]int, n)
+		for i := range sources {
+			sources[i] = i
+		}
+	} else {
+		sources = r.Sample(n, maxSources)
+	}
+	res := temporal.DiameterResult{AllReachable: true}
+	arr := make([]int32, n)
+	var sum int64
+	var finite int64
+	for _, s := range sources {
+		net.EarliestArrivalsInto(s, arr)
+		for v := 0; v < n; v++ {
+			if v == s {
+				continue
+			}
+			res.Pairs++
+			a := arr[v]
+			if a == temporal.Unreachable {
+				res.AllReachable = false
+				continue
+			}
+			finite++
+			sum += int64(a)
+			if a > res.Max {
+				res.Max = a
+			}
+		}
+	}
+	if finite > 0 {
+		res.MeanFinite = float64(sum) / float64(finite)
+	}
+	return res
+}

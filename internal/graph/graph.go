@@ -1,0 +1,293 @@
+// Package graph provides the static-graph substrate underneath the temporal
+// networks of the paper: a compact CSR (compressed sparse row)
+// representation for directed and undirected simple graphs, the standard
+// generators the experiments sweep over (cliques, stars, paths, grids,
+// hypercubes, random graphs, trees), and the classical algorithms the
+// analysis leans on (BFS, connectivity, strongly connected components,
+// diameter, spanning trees).
+//
+// Vertices are the integers 0..N()-1. Every edge has a dense identifier
+// 0..M()-1; temporal label assignments (package assign) attach label sets to
+// those identifiers. For an undirected graph each edge {u,v} has one
+// identifier and appears in the adjacency of both endpoints; for a directed
+// graph each arc (u,v) has its own identifier.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple (di)graph in CSR form. Build one with a
+// Builder or a generator; the zero value is an empty graph with no vertices.
+type Graph struct {
+	n        int
+	directed bool
+
+	// Edge list: edge e goes from from[e] to to[e]. For undirected graphs
+	// the orientation is storage order only.
+	from, to []int32
+
+	// Forward CSR: out-adjacency (undirected: full adjacency).
+	off     []int32 // length n+1
+	adjTo   []int32 // length = #adjacency entries
+	adjEdge []int32 // edge id parallel to adjTo
+
+	// Reverse CSR for directed graphs (in-adjacency). nil when undirected;
+	// accessors fall back to the forward CSR in that case.
+	roff     []int32
+	radjTo   []int32
+	radjEdge []int32
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	n        int
+	directed bool
+	from, to []int32
+}
+
+// NewBuilder returns a builder for a graph on n vertices. It panics if
+// n < 0.
+func NewBuilder(n int, directed bool) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n, directed: directed}
+}
+
+// AddEdge appends the edge (u,v) — an arc when the graph is directed — and
+// returns its edge identifier. Self-loops are rejected with a panic: the
+// paper's networks are simple, and a self-loop can never appear on a
+// journey. Duplicate detection is the caller's concern (generators never
+// produce duplicates; Graph.Validate checks when in doubt).
+func (b *Builder) AddEdge(u, v int) int {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	b.from = append(b.from, int32(u))
+	b.to = append(b.to, int32(v))
+	return len(b.from) - 1
+}
+
+// Build finalizes the graph. The builder must not be used afterwards.
+func (b *Builder) Build() *Graph {
+	g := &Graph{n: b.n, directed: b.directed, from: b.from, to: b.to}
+	g.buildCSR()
+	return g
+}
+
+func (g *Graph) buildCSR() {
+	n, m := g.n, len(g.from)
+	deg := make([]int32, n+1)
+	for e := 0; e < m; e++ {
+		deg[g.from[e]+1]++
+		if !g.directed {
+			deg[g.to[e]+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	g.off = deg
+	total := g.off[n]
+	g.adjTo = make([]int32, total)
+	g.adjEdge = make([]int32, total)
+	pos := make([]int32, n)
+	copy(pos, g.off[:n])
+	place := func(u, v, e int32) {
+		p := pos[u]
+		g.adjTo[p] = v
+		g.adjEdge[p] = e
+		pos[u] = p + 1
+	}
+	for e := 0; e < m; e++ {
+		place(g.from[e], g.to[e], int32(e))
+		if !g.directed {
+			place(g.to[e], g.from[e], int32(e))
+		}
+	}
+	g.sortAdj(g.off, g.adjTo, g.adjEdge)
+
+	if g.directed {
+		rdeg := make([]int32, n+1)
+		for e := 0; e < m; e++ {
+			rdeg[g.to[e]+1]++
+		}
+		for i := 0; i < n; i++ {
+			rdeg[i+1] += rdeg[i]
+		}
+		g.roff = rdeg
+		g.radjTo = make([]int32, m)
+		g.radjEdge = make([]int32, m)
+		rpos := make([]int32, n)
+		copy(rpos, g.roff[:n])
+		for e := 0; e < m; e++ {
+			v := g.to[e]
+			p := rpos[v]
+			g.radjTo[p] = g.from[e]
+			g.radjEdge[p] = int32(e)
+			rpos[v] = p + 1
+		}
+		g.sortAdj(g.roff, g.radjTo, g.radjEdge)
+	}
+}
+
+// sortAdj sorts every vertex's adjacency slice by neighbor id so HasEdge can
+// binary-search.
+func (g *Graph) sortAdj(off, adjTo, adjEdge []int32) {
+	for u := 0; u < g.n; u++ {
+		lo, hi := off[u], off[u+1]
+		seg := adjSeg{to: adjTo[lo:hi], edge: adjEdge[lo:hi]}
+		sort.Sort(seg)
+	}
+}
+
+type adjSeg struct {
+	to, edge []int32
+}
+
+func (s adjSeg) Len() int           { return len(s.to) }
+func (s adjSeg) Less(i, j int) bool { return s.to[i] < s.to[j] }
+func (s adjSeg) Swap(i, j int) {
+	s.to[i], s.to[j] = s.to[j], s.to[i]
+	s.edge[i], s.edge[j] = s.edge[j], s.edge[i]
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges (arcs when directed).
+func (g *Graph) M() int { return len(g.from) }
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// Endpoints returns the endpoints of edge e in storage orientation.
+func (g *Graph) Endpoints(e int) (u, v int) {
+	return int(g.from[e]), int(g.to[e])
+}
+
+// OutDegree returns the out-degree of u (degree when undirected).
+func (g *Graph) OutDegree(u int) int {
+	return int(g.off[u+1] - g.off[u])
+}
+
+// InDegree returns the in-degree of u (degree when undirected).
+func (g *Graph) InDegree(u int) int {
+	if !g.directed {
+		return g.OutDegree(u)
+	}
+	return int(g.roff[u+1] - g.roff[u])
+}
+
+// OutNeighbors returns u's out-neighbors as a shared slice that must not be
+// modified.
+func (g *Graph) OutNeighbors(u int) []int32 {
+	return g.adjTo[g.off[u]:g.off[u+1]]
+}
+
+// OutEdges returns the edge ids leaving u, parallel to OutNeighbors. The
+// slice is shared and must not be modified.
+func (g *Graph) OutEdges(u int) []int32 {
+	return g.adjEdge[g.off[u]:g.off[u+1]]
+}
+
+// InNeighbors returns u's in-neighbors (undirected: all neighbors). The
+// slice is shared and must not be modified.
+func (g *Graph) InNeighbors(u int) []int32 {
+	if !g.directed {
+		return g.OutNeighbors(u)
+	}
+	return g.radjTo[g.roff[u]:g.roff[u+1]]
+}
+
+// InEdges returns the ids of edges entering u, parallel to InNeighbors. The
+// slice is shared and must not be modified.
+func (g *Graph) InEdges(u int) []int32 {
+	if !g.directed {
+		return g.OutEdges(u)
+	}
+	return g.radjEdge[g.roff[u]:g.roff[u+1]]
+}
+
+// HasEdge reports whether the arc (u,v) exists (for undirected graphs,
+// whether {u,v} exists).
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.EdgeBetween(u, v)
+	return ok
+}
+
+// EdgeBetween returns the identifier of the arc (u,v) (undirected: the edge
+// {u,v}) and whether it exists. If parallel edges were built, the one with
+// the smallest adjacency position is returned.
+func (g *Graph) EdgeBetween(u, v int) (int, bool) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return -1, false
+	}
+	adj := g.OutNeighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= int32(v) })
+	if i < len(adj) && adj[i] == int32(v) {
+		return int(g.OutEdges(u)[i]), true
+	}
+	return -1, false
+}
+
+// Edges calls fn(e, u, v) for every edge in identifier order.
+func (g *Graph) Edges(fn func(e, u, v int)) {
+	for e := range g.from {
+		fn(e, int(g.from[e]), int(g.to[e]))
+	}
+}
+
+// FromArray returns the edge-indexed array of source endpoints (storage
+// orientation for undirected graphs). The slice is shared and must not be
+// modified; it exists so per-edge hot loops can avoid Endpoints call
+// overhead.
+func (g *Graph) FromArray() []int32 { return g.from }
+
+// ToArray returns the edge-indexed array of target endpoints, parallel to
+// FromArray. The slice is shared and must not be modified.
+func (g *Graph) ToArray() []int32 { return g.to }
+
+// Validate checks structural invariants — no duplicate arcs/edges — and
+// returns a descriptive error for the first violation. Generators in this
+// package always produce valid graphs; Validate exists for hand-built
+// graphs and tests.
+func (g *Graph) Validate() error {
+	for u := 0; u < g.n; u++ {
+		adj := g.OutNeighbors(u)
+		for i := 1; i < len(adj); i++ {
+			if adj[i] == adj[i-1] {
+				return fmt.Errorf("graph: duplicate edge (%d,%d)", u, adj[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Reverse returns the graph with every arc reversed. For undirected graphs
+// it returns the receiver (reversal is the identity). Edge identifiers are
+// preserved: arc e = (u,v) becomes arc e = (v,u).
+func (g *Graph) Reverse() *Graph {
+	if !g.directed {
+		return g
+	}
+	b := NewBuilder(g.n, true)
+	for e := range g.from {
+		b.AddEdge(int(g.to[e]), int(g.from[e]))
+	}
+	return b.Build()
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	kind := "undirected"
+	if g.directed {
+		kind = "directed"
+	}
+	return fmt.Sprintf("%s graph: n=%d m=%d", kind, g.n, g.M())
+}

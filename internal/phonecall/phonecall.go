@@ -1,0 +1,158 @@
+// Package phonecall implements the classical random phone-call rumor
+// spreading model (Demers et al.; Frieze–Grimmett; Karp et al.) that §1.1
+// of the paper compares against: in synchronous rounds, every vertex calls
+// a uniformly random neighbor; PUSH sends the rumor to the callee, PUSH-PULL
+// also pulls it back from an informed callee.
+//
+// The contrast the paper draws: in this model randomness is available to
+// the algorithm in every round, whereas in a random temporal network each
+// link offers a single random moment fixed by the input. Both broadcast a
+// clique in Θ(log n) rounds, but only the temporal model's completion time
+// scales with the lifetime (Theorem 5) — experiment E10 puts the two side
+// by side.
+package phonecall
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Result reports one broadcast simulation.
+type Result struct {
+	// Rounds is the number of synchronous rounds until every vertex was
+	// informed (0 if the source alone is the graph).
+	Rounds int
+	// Transmissions counts every call that carried the rumor in either
+	// direction.
+	Transmissions int
+	// Informed is the number of informed vertices at the end.
+	Informed int
+	// All reports whether the rumor reached every vertex before maxRounds.
+	All bool
+}
+
+// Push simulates PUSH rumor spreading from source on g: each round, every
+// informed vertex sends the rumor to one uniformly random out-neighbor.
+// It stops when everyone is informed or after maxRounds (≤ 0 means 64·n
+// as a generous default bound).
+func Push(g *graph.Graph, source int, maxRounds int, r *rng.Stream) Result {
+	return simulate(g, source, maxRounds, r, true, false)
+}
+
+// PushPull simulates PUSH-PULL: every vertex (informed or not) calls a
+// random neighbor; the rumor crosses the call in whichever direction it
+// can. Karp et al. show this saves a log factor of transmissions on the
+// clique; the experiments reproduce the shape.
+func PushPull(g *graph.Graph, source int, maxRounds int, r *rng.Stream) Result {
+	return simulate(g, source, maxRounds, r, true, true)
+}
+
+// PushWithMemory simulates the memory variant of PUSH from the paper's
+// §1.1 citations (Berenbrink–Elsässer–Friedetzky; Elsässer–Sauerwald):
+// every informed vertex remembers the neighbors it has already called,
+// never repeats a call, and falls silent once its neighborhood is
+// exhausted. The win over memoryless PUSH is the removal of
+// coupon-collector waste wherever degrees are small relative to the
+// remaining uninformed set — on a star the center needs exactly deg calls
+// instead of Θ(deg·log deg) — while on the clique (degrees ≫ rounds) the
+// two behave alike, which the tests pin down.
+func PushWithMemory(g *graph.Graph, source int, maxRounds int, r *rng.Stream) Result {
+	n := g.N()
+	res := Result{}
+	if n == 0 {
+		res.All = true
+		return res
+	}
+	if maxRounds <= 0 {
+		maxRounds = 64 * n
+	}
+	informed := make([]bool, n)
+	informed[source] = true
+	count := 1
+	was := make([]bool, n)
+	// called[u] tracks how many of u's neighbors u has already called;
+	// remaining neighbors live in a per-vertex shuffled order generated
+	// lazily on first use.
+	order := make([][]int32, n)
+	called := make([]int, n)
+	for round := 1; round <= maxRounds && count < n; round++ {
+		copy(was, informed)
+		for u := 0; u < n; u++ {
+			if !was[u] {
+				continue
+			}
+			if order[u] == nil {
+				adj := g.OutNeighbors(u)
+				ord := make([]int32, len(adj))
+				copy(ord, adj)
+				r.Shuffle(len(ord), func(i, j int) { ord[i], ord[j] = ord[j], ord[i] })
+				order[u] = ord
+			}
+			if called[u] >= len(order[u]) {
+				continue // exhausted all neighbors; stay silent
+			}
+			v := int(order[u][called[u]])
+			called[u]++
+			res.Transmissions++
+			if !informed[v] {
+				informed[v] = true
+				count++
+			}
+		}
+		res.Rounds = round
+	}
+	res.Informed = count
+	res.All = count == n
+	return res
+}
+
+func simulate(g *graph.Graph, source, maxRounds int, r *rng.Stream, push, pull bool) Result {
+	n := g.N()
+	res := Result{}
+	if n == 0 {
+		res.All = true
+		return res
+	}
+	if maxRounds <= 0 {
+		maxRounds = 64 * n
+	}
+	informed := make([]bool, n)
+	informed[source] = true
+	count := 1
+	// was snapshots the round-start state: calls within a round are
+	// simultaneous, so a vertex informed this round must not act on the
+	// rumor until the next round.
+	was := make([]bool, n)
+	for round := 1; round <= maxRounds && count < n; round++ {
+		copy(was, informed)
+		for u := 0; u < n; u++ {
+			deg := g.OutDegree(u)
+			if deg == 0 {
+				continue
+			}
+			if !was[u] && !pull {
+				// Pure PUSH: uninformed vertices do not call.
+				continue
+			}
+			v := int(g.OutNeighbors(u)[r.Intn(deg)])
+			if push && was[u] {
+				res.Transmissions++
+				if !informed[v] {
+					informed[v] = true
+					count++
+				}
+			}
+			if pull && !was[u] && was[v] {
+				res.Transmissions++
+				if !informed[u] {
+					informed[u] = true
+					count++
+				}
+			}
+		}
+		res.Rounds = round
+	}
+	res.Informed = count
+	res.All = count == n
+	return res
+}

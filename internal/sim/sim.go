@@ -1,0 +1,124 @@
+// Package sim is the parallel Monte-Carlo harness behind every experiment:
+// it runs independent randomized trials across a worker pool and aggregates
+// named metrics into stats.Samples.
+//
+// Determinism is the contract: trial i always receives the stream
+// rng.NewStream(seed, i), and aggregation happens in trial order after all
+// workers finish, so results are bit-identical for any worker count or
+// scheduling.
+package sim
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Metrics is the named measurements one trial produces.
+type Metrics map[string]float64
+
+// Trial runs one randomized experiment instance. It must use only the
+// provided stream for randomness and may be called concurrently with other
+// trials.
+type Trial func(trial int, r *rng.Stream) Metrics
+
+// Runner configures a Monte-Carlo run. The zero value runs zero trials;
+// set Trials (and usually Seed).
+type Runner struct {
+	// Trials is the number of independent repetitions.
+	Trials int
+	// Seed is the base seed; trial i uses rng.NewStream(Seed, i).
+	Seed uint64
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Run executes the trial function and aggregates its metrics.
+func (c Runner) Run(trial Trial) *Results {
+	if c.Trials < 0 {
+		panic("sim: negative trial count")
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > c.Trials {
+		workers = c.Trials
+	}
+	perTrial := make([]Metrics, c.Trials)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1) - 1)
+				if i >= c.Trials {
+					return
+				}
+				perTrial[i] = trial(i, rng.NewStream(c.Seed, uint64(i)))
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Aggregate after all workers finish, feeding each Sample in trial
+	// order, so results are bit-exact regardless of scheduling.
+	res := &Results{byName: make(map[string]*stats.Sample), trials: c.Trials}
+	for _, m := range perTrial {
+		for name := range m {
+			if res.byName[name] == nil {
+				res.byName[name] = &stats.Sample{}
+			}
+		}
+	}
+	for name, s := range res.byName {
+		for _, m := range perTrial {
+			if v, ok := m[name]; ok {
+				s.Add(v)
+			}
+		}
+	}
+	return res
+}
+
+// Results aggregates per-metric samples from a run.
+type Results struct {
+	byName map[string]*stats.Sample
+	trials int
+}
+
+// Sample returns the sample for a metric; missing metrics yield an empty
+// sample so callers can chain accessors safely.
+func (r *Results) Sample(name string) *stats.Sample {
+	if s, ok := r.byName[name]; ok {
+		return s
+	}
+	return &stats.Sample{}
+}
+
+// Names returns the metric names in sorted order.
+func (r *Results) Names() []string {
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Trials returns the number of trials that ran.
+func (r *Results) Trials() int { return r.trials }
+
+// Mean is shorthand for Sample(name).Mean().
+func (r *Results) Mean(name string) float64 { return r.Sample(name).Mean() }
+
+// Rate returns the fraction of trials in which the named indicator metric
+// (0 or 1 valued) was 1, assuming every trial reported it; metrics reported
+// by only some trials are averaged over the reporting trials.
+func (r *Results) Rate(name string) float64 { return r.Sample(name).Mean() }

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRunAggregatesAllTrials(t *testing.T) {
+	r := Runner{Trials: 100, Seed: 1}
+	res := r.Run(func(trial int, _ *rng.Stream) Metrics {
+		return Metrics{"x": float64(trial)}
+	})
+	s := res.Sample("x")
+	if s.N() != 100 {
+		t.Fatalf("N = %d, want 100", s.N())
+	}
+	if got := s.Mean(); got != 49.5 {
+		t.Fatalf("Mean = %v, want 49.5", got)
+	}
+	if res.Trials() != 100 {
+		t.Fatalf("Trials() = %d", res.Trials())
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	trial := func(i int, r *rng.Stream) Metrics {
+		// Depends on the per-trial stream, so scheduling leaks would show.
+		return Metrics{"v": r.Float64(), "w": float64(r.Intn(1000))}
+	}
+	base := Runner{Trials: 64, Seed: 42, Workers: 1}.Run(trial)
+	for _, workers := range []int{2, 4, 16} {
+		got := Runner{Trials: 64, Seed: 42, Workers: workers}.Run(trial)
+		for _, name := range []string{"v", "w"} {
+			// Bit-exact equality: same values in same trial order.
+			if got.Sample(name).Mean() != base.Sample(name).Mean() ||
+				got.Sample(name).Var() != base.Sample(name).Var() ||
+				got.Sample(name).Min() != base.Sample(name).Min() {
+				t.Fatalf("workers=%d: metric %s differs from serial run", workers, name)
+			}
+		}
+	}
+}
+
+func TestRunSeedChangesResults(t *testing.T) {
+	trial := func(i int, r *rng.Stream) Metrics {
+		return Metrics{"v": r.Float64()}
+	}
+	a := Runner{Trials: 32, Seed: 1}.Run(trial)
+	b := Runner{Trials: 32, Seed: 2}.Run(trial)
+	if a.Sample("v").Mean() == b.Sample("v").Mean() {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestPartialMetrics(t *testing.T) {
+	// Trials report "odd" only on odd indices.
+	res := Runner{Trials: 10, Seed: 3}.Run(func(i int, _ *rng.Stream) Metrics {
+		m := Metrics{"always": 1}
+		if i%2 == 1 {
+			m["odd"] = float64(i)
+		}
+		return m
+	})
+	if res.Sample("always").N() != 10 {
+		t.Fatalf("always N = %d", res.Sample("always").N())
+	}
+	odd := res.Sample("odd")
+	if odd.N() != 5 {
+		t.Fatalf("odd N = %d, want 5", odd.N())
+	}
+	if odd.Mean() != 5 { // (1+3+5+7+9)/5
+		t.Fatalf("odd mean = %v, want 5", odd.Mean())
+	}
+}
+
+func TestMissingMetricSafe(t *testing.T) {
+	res := Runner{Trials: 3, Seed: 1}.Run(func(i int, _ *rng.Stream) Metrics {
+		return Metrics{"x": 1}
+	})
+	s := res.Sample("nope")
+	if s.N() != 0 || !math.IsNaN(s.Mean()) {
+		t.Fatal("missing metric should return empty sample")
+	}
+}
+
+func TestNames(t *testing.T) {
+	res := Runner{Trials: 2, Seed: 1}.Run(func(i int, _ *rng.Stream) Metrics {
+		return Metrics{"zeta": 1, "alpha": 2, "mid": 3}
+	})
+	names := res.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(names) != 3 {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRate(t *testing.T) {
+	res := Runner{Trials: 10, Seed: 1}.Run(func(i int, _ *rng.Stream) Metrics {
+		v := 0.0
+		if i < 7 {
+			v = 1
+		}
+		return Metrics{"ok": v}
+	})
+	if got := res.Rate("ok"); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("Rate = %v, want 0.7", got)
+	}
+}
+
+func TestZeroTrials(t *testing.T) {
+	res := Runner{Trials: 0, Seed: 1}.Run(func(i int, _ *rng.Stream) Metrics {
+		t.Fatal("trial should not run")
+		return nil
+	})
+	if res.Trials() != 0 || len(res.Names()) != 0 {
+		t.Fatal("zero-trial run should be empty")
+	}
+}
+
+func TestNegativeTrialsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative trials should panic")
+		}
+	}()
+	Runner{Trials: -1}.Run(func(i int, _ *rng.Stream) Metrics { return nil })
+}
+
+func TestEachTrialRunsExactlyOnce(t *testing.T) {
+	var calls [257]int32
+	Runner{Trials: 257, Seed: 5, Workers: 8}.Run(func(i int, _ *rng.Stream) Metrics {
+		atomic.AddInt32(&calls[i], 1)
+		return nil
+	})
+	for i, c := range calls {
+		if c != 1 {
+			t.Fatalf("trial %d ran %d times", i, c)
+		}
+	}
+}
+
+func BenchmarkRunnerOverhead(b *testing.B) {
+	r := Runner{Trials: 100, Seed: 1}
+	trial := func(i int, s *rng.Stream) Metrics { return Metrics{"x": s.Float64()} }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(trial)
+	}
+}

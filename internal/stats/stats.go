@@ -1,0 +1,294 @@
+// Package stats provides the sample statistics used to aggregate
+// Monte-Carlo experiment results: streaming moments (Welford), order
+// statistics, normal-approximation confidence intervals, histograms, and a
+// least-squares line fit used to regress temporal diameters on log n.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations. The zero value is an empty sample ready
+// for use. Add is O(1); order statistics sort lazily and cache until the
+// next Add.
+type Sample struct {
+	xs     []float64
+	sorted bool
+
+	n          int
+	mean, m2   float64
+	min, max   float64
+	haveMinMax bool
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if !s.haveMinMax || x < s.min {
+		s.min = x
+	}
+	if !s.haveMinMax || x > s.max {
+		s.max = x
+	}
+	s.haveMinMax = true
+}
+
+// AddAll appends every observation in xs.
+func (s *Sample) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the sample mean, or NaN for an empty sample.
+func (s *Sample) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Var returns the unbiased sample variance (n-1 denominator), or NaN when
+// fewer than two observations exist.
+func (s *Sample) Var() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Sample) StdErr() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// Min returns the smallest observation, or NaN for an empty sample.
+func (s *Sample) Min() float64 {
+	if !s.haveMinMax {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or NaN for an empty sample.
+func (s *Sample) Max() float64 {
+	if !s.haveMinMax {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Sum returns the sum of all observations.
+func (s *Sample) Sum() float64 { return s.mean * float64(s.n) }
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation
+// between order statistics (the same rule as numpy's default). It returns
+// NaN for an empty sample and panics for q outside [0,1].
+func (s *Sample) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0,1]")
+	}
+	if s.n == 0 {
+		return math.NaN()
+	}
+	s.ensureSorted()
+	if s.n == 1 {
+		return s.xs[0]
+	}
+	pos := q * float64(s.n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// CI95 returns the half-width of a 95% normal-approximation confidence
+// interval for the mean: 1.96 · stderr. For small n this understates the
+// t-interval slightly; experiments use n ≥ 30 trials.
+func (s *Sample) CI95() float64 {
+	return 1.96 * s.StdErr()
+}
+
+// FractionAtMost returns the fraction of observations <= x.
+func (s *Sample) FractionAtMost(x float64) float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	s.ensureSorted()
+	// Upper bound index of x.
+	i := sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(s.n)
+}
+
+// String summarizes the sample for debugging output.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		s.n, s.Mean(), s.StdDev(), s.Min(), s.Max())
+}
+
+// LinFit is a least-squares straight-line fit y ≈ Alpha + Beta·x with its
+// coefficient of determination. Experiments use it to fit measured temporal
+// diameters against log₂ n and report the slope γ.
+type LinFit struct {
+	Alpha, Beta float64
+	R2          float64
+	N           int
+}
+
+// Fit computes the least-squares line through the points (xs[i], ys[i]).
+// It panics if the slices differ in length and returns a degenerate fit
+// (NaNs) when fewer than two points or zero x-variance are supplied.
+func Fit(xs, ys []float64) LinFit {
+	if len(xs) != len(ys) {
+		panic("stats: Fit length mismatch")
+	}
+	n := len(xs)
+	if n < 2 {
+		return LinFit{Alpha: math.NaN(), Beta: math.NaN(), R2: math.NaN(), N: n}
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinFit{Alpha: math.NaN(), Beta: math.NaN(), R2: math.NaN(), N: n}
+	}
+	beta := sxy / sxx
+	alpha := my - beta*mx
+	r2 := 1.0
+	if syy > 0 {
+		ssRes := syy - beta*sxy
+		r2 = 1 - ssRes/syy
+	}
+	return LinFit{Alpha: alpha, Beta: beta, R2: r2, N: n}
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinFit) Predict(x float64) float64 { return f.Alpha + f.Beta*x }
+
+// Histogram counts observations into equal-width bins over [Lo, Hi).
+// Out-of-range observations are clamped into the first/last bin so that
+// completeness checks (total count) remain exact.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram returns a histogram with the given bounds and bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if !(lo < hi) {
+		panic("stats: histogram needs lo < hi")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(x float64) {
+	b := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Mode returns the index of the most populated bin (ties to the lowest).
+func (h *Histogram) Mode() int {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// MeanOfInts is a convenience for averaging integer observations (e.g.
+// arrival times) without building a Sample.
+func MeanOfInts(xs []int) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// BinomialCI returns the Wilson score 95% confidence interval for a
+// proportion with k successes out of n trials. Experiments use it to report
+// uncertainty on empirical "with high probability" success rates.
+func BinomialCI(k, n int) (lo, hi float64) {
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	const z = 1.96
+	p := float64(k) / float64(n)
+	nn := float64(n)
+	denom := 1 + z*z/nn
+	center := (p + z*z/(2*nn)) / denom
+	half := z * math.Sqrt(p*(1-p)/nn+z*z/(4*nn*nn)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

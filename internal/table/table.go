@@ -1,0 +1,226 @@
+// Package table renders experiment results: aligned ASCII tables (with CSV
+// and Markdown variants) for the paper's "tables", and a small ASCII
+// scatter/line plot for its "figures".
+package table
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of string cells with a fixed column set. The zero
+// value is unusable; construct with New.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes are free-form lines printed under the table (provenance,
+	// parameters, paper references).
+	Notes []string
+}
+
+// New returns an empty table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	if len(columns) == 0 {
+		panic("table: need at least one column")
+	}
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; the cell count must match the column count.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("table: row has %d cells, want %d", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render produces the aligned ASCII form.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for p := len(cell); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, note := range t.Notes {
+		b.WriteString("  # ")
+		b.WriteString(note)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV produces an RFC-4180-ish CSV (quotes only where needed). The title
+// and notes are omitted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown produces a GitHub-flavored Markdown table including title (as a
+// heading) and notes (as a list).
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, note := range t.Notes {
+		b.WriteString("\n*" + note + "*\n")
+	}
+	return b.String()
+}
+
+// F formats a float for a cell with the given precision, rendering NaN as
+// "-".
+func F(v float64, prec int) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// I formats an int cell.
+func I(v int) string { return fmt.Sprintf("%d", v) }
+
+// Series is one named curve for Plot.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Plot renders the series into a w×h character scatter plot with a border
+// and min/max axis annotations — the repository's stand-in for the paper's
+// figures. Series are distinguished by marker characters listed in the
+// legend. Non-finite points are skipped.
+func Plot(title string, w, h int, series ...Series) string {
+	if w < 8 || h < 4 {
+		panic("table: plot needs w >= 8 and h >= 4")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	if minX > maxX { // no finite points
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			c := int((x - minX) / (maxX - minX) * float64(w-1))
+			r := h - 1 - int((y-minY)/(maxY-minY)*float64(h-1))
+			grid[r][c] = mark
+		}
+	}
+	fmt.Fprintf(&b, "%10.4g ┤", maxY)
+	b.WriteByte('\n')
+	for _, row := range grid {
+		b.WriteString("           |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%10.4g └%s\n", minY, strings.Repeat("─", w))
+	fmt.Fprintf(&b, "            %-10.4g%*.4g\n", minX, w-10, maxX)
+	if len(series) > 0 {
+		b.WriteString("  legend:")
+		for si, s := range series {
+			fmt.Fprintf(&b, " %c=%s", markers[si%len(markers)], s.Name)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,159 @@
+package table
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("Demo", "n", "value")
+	tb.AddRow("8", "1.25")
+	tb.AddRow("1024", "0.5")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "n     value") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Fatalf("separator = %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "8     1.25") {
+		t.Fatalf("row 1 = %q", lines[3])
+	}
+	if !strings.HasPrefix(lines[4], "1024  0.5") {
+		t.Fatalf("row 2 = %q", lines[4])
+	}
+}
+
+func TestRenderNotes(t *testing.T) {
+	tb := New("T", "a")
+	tb.AddRow("1")
+	tb.AddNote("seed=%d trials=%d", 42, 100)
+	out := tb.Render()
+	if !strings.Contains(out, "# seed=42 trials=100") {
+		t.Fatalf("notes missing: %q", out)
+	}
+}
+
+func TestAddRowArityPanics(t *testing.T) {
+	tb := New("T", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row should panic")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestNewNoColumnsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with no columns should panic")
+		}
+	}()
+	New("T")
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := New("T", "name", "note")
+	tb.AddRow("plain", `has,comma`)
+	tb.AddRow("quote\"inside", "multi\nline")
+	out := tb.CSV()
+	lines := strings.Split(out, "\n")
+	if lines[0] != "name,note" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != `plain,"has,comma"` {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], `"quote""inside","multi`) {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := New("My Table", "x", "y")
+	tb.AddRow("1", "2")
+	tb.AddNote("a note")
+	md := tb.Markdown()
+	for _, want := range []string{"### My Table", "| x | y |", "|---|---|", "| 1 | 2 |", "*a note*"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := F(1.23456, 2); got != "1.23" {
+		t.Fatalf("F = %q", got)
+	}
+	if got := F(math.NaN(), 2); got != "-" {
+		t.Fatalf("F(NaN) = %q", got)
+	}
+	if got := I(-7); got != "-7" {
+		t.Fatalf("I = %q", got)
+	}
+}
+
+func TestPlotBasics(t *testing.T) {
+	s := Series{Name: "line", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}}
+	out := Plot("title", 20, 8, s)
+	if !strings.Contains(out, "title") {
+		t.Fatal("plot title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("plot markers missing")
+	}
+	if !strings.Contains(out, "legend: *=line") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	// Increasing line: first grid row (top) should contain the max point.
+	lines := strings.Split(out, "\n")
+	top := lines[2] // title, y-max line, then first grid row
+	if !strings.Contains(top, "*") {
+		t.Fatalf("top row missing marker:\n%s", out)
+	}
+}
+
+func TestPlotMultipleSeriesMarkers(t *testing.T) {
+	a := Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 0}}
+	b := Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 1}}
+	out := Plot("", 16, 6, a, b)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	// Single point: ranges collapse; must not panic.
+	out := Plot("p", 10, 4, Series{Name: "pt", X: []float64{5}, Y: []float64{5}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point missing:\n%s", out)
+	}
+	// NaN-only series renders "(no data)".
+	out = Plot("p", 10, 4, Series{Name: "nan", X: []float64{math.NaN()}, Y: []float64{1}})
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("expected no data:\n%s", out)
+	}
+}
+
+func TestPlotSkipsNonFinite(t *testing.T) {
+	s := Series{Name: "s", X: []float64{0, math.Inf(1), 1}, Y: []float64{0, 5, 1}}
+	out := Plot("", 12, 5, s)
+	if strings.Contains(out, "(no data)") {
+		t.Fatal("finite points should render")
+	}
+}
+
+func TestPlotSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tiny plot should panic")
+		}
+	}()
+	Plot("", 2, 2)
+}

@@ -1,0 +1,145 @@
+package temporal
+
+// This file contains the foremost-journey kernel: single-source earliest
+// arrival times in one linear pass over the time-edge list, which is
+// bucket-sorted by label at network construction.
+//
+// Correctness of the single pass: processing time edges in non-decreasing
+// label order, when the scan reaches label l every arrival time < l is
+// final, so the relaxation "arr[u] < l ⇒ arr[v] ← min(arr[v], l)" applies
+// exactly the strictly-increasing-label rule (a message that reached u at
+// time l cannot leave u at time l). Ties within the same label cannot chain
+// in a single pass precisely because the comparison is strict.
+
+// EarliestArrivals returns δ(s,·): the earliest arrival time from s to each
+// vertex, with arr[s] = 0 and Unreachable for vertices no journey reaches.
+func (n *Network) EarliestArrivals(s int) []int32 {
+	arr := make([]int32, n.g.N())
+	n.EarliestArrivalsInto(s, arr)
+	return arr
+}
+
+// EarliestArrivalsInto is the allocation-free kernel behind
+// EarliestArrivals: arr must have length N() and is overwritten. It returns
+// the number of reached vertices, counting s itself.
+func (n *Network) EarliestArrivalsInto(s int, arr []int32) int {
+	for i := range arr {
+		arr[i] = Unreachable
+	}
+	arr[s] = 0
+	reached := 1
+	directed := n.g.Directed()
+	from, to := n.edgeEndpointArrays()
+	for i, e := range n.teEdge {
+		l := n.teLabel[i]
+		u, v := from[e], to[e]
+		if arr[u] < l && l < arr[v] {
+			if arr[v] == Unreachable {
+				reached++
+			}
+			arr[v] = l
+		} else if !directed && arr[v] < l && l < arr[u] {
+			if arr[u] == Unreachable {
+				reached++
+			}
+			arr[u] = l
+		}
+	}
+	return reached
+}
+
+// edgeEndpointArrays exposes the graph's parallel from/to arrays through a
+// tiny accessor so the scan avoids per-edge Endpoints calls.
+func (n *Network) edgeEndpointArrays() (from, to []int32) {
+	return n.g.FromArray(), n.g.ToArray()
+}
+
+// ForemostJourney returns a foremost (s,t)-journey — one whose arrival time
+// equals δ(s,t) — or ok=false when t is unreachable from s. For s == t it
+// returns the empty journey.
+func (n *Network) ForemostJourney(s, t int) (Journey, bool) {
+	if s == t {
+		return Journey{}, true
+	}
+	nv := n.g.N()
+	arr := make([]int32, nv)
+	for i := range arr {
+		arr[i] = Unreachable
+	}
+	arr[s] = 0
+	// predTE[v] is the index of the time edge that first reached v.
+	predTE := make([]int32, nv)
+	for i := range predTE {
+		predTE[i] = -1
+	}
+	directed := n.g.Directed()
+	from, to := n.edgeEndpointArrays()
+	for i, e := range n.teEdge {
+		l := n.teLabel[i]
+		u, v := from[e], to[e]
+		if arr[u] < l && l < arr[v] {
+			arr[v] = l
+			predTE[v] = int32(i)
+		} else if !directed && arr[v] < l && l < arr[u] {
+			arr[u] = l
+			predTE[u] = int32(i)
+		}
+	}
+	if arr[t] == Unreachable {
+		return nil, false
+	}
+	// Trace hops backwards from t.
+	var rev Journey
+	cur := int32(t)
+	for cur != int32(s) {
+		ti := predTE[cur]
+		e := n.teEdge[ti]
+		l := n.teLabel[ti]
+		u, v := from[e], to[e]
+		hopFrom := u
+		if v != cur { // undirected edge traversed against storage order
+			hopFrom = v
+		}
+		rev = append(rev, Hop{From: int(hopFrom), To: int(cur), Edge: int(e), Label: l})
+		cur = hopFrom
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// earliestArrivalsFixpoint is an independent O(rounds·M) reference
+// implementation used by tests: Bellman–Ford-style relaxation of all time
+// edges (in arbitrary order) until no arrival time improves. It must agree
+// with the single-pass kernel on every network.
+func (n *Network) earliestArrivalsFixpoint(s int) []int32 {
+	nv := n.g.N()
+	arr := make([]int32, nv)
+	for i := range arr {
+		arr[i] = Unreachable
+	}
+	arr[s] = 0
+	directed := n.g.Directed()
+	for {
+		changed := false
+		// Deliberately iterate edges in id order (not label order) so the
+		// reference differs structurally from the production kernel.
+		for e := 0; e < n.g.M(); e++ {
+			u, v := n.g.Endpoints(e)
+			for _, l := range n.EdgeLabels(e) {
+				if arr[u] < l && l < arr[v] {
+					arr[v] = l
+					changed = true
+				}
+				if !directed && arr[v] < l && l < arr[u] {
+					arr[u] = l
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return arr
+		}
+	}
+}

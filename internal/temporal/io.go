@@ -1,0 +1,139 @@
+package temporal
+
+// Text serialization for temporal networks, so instances can be saved,
+// shared and replayed (cmd/gen writes this format). The format is
+// line-oriented and diff-friendly:
+//
+//	tnet 1 <directed|undirected> <n> <m> <lifetime>
+//	<u> <v> <label> <label> ...       (one line per edge, id = line order)
+//
+// Lines starting with '#' and blank lines are ignored. Labels may be
+// absent (an edge that never appears).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Encode serializes the network in the tnet text format.
+func (n *Network) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	kind := "undirected"
+	if n.g.Directed() {
+		kind = "directed"
+	}
+	if _, err := fmt.Fprintf(bw, "tnet 1 %s %d %d %d\n", kind, n.g.N(), n.g.M(), n.lifetime); err != nil {
+		return err
+	}
+	var err error
+	n.g.Edges(func(e, u, v int) {
+		if err != nil {
+			return
+		}
+		if _, err = fmt.Fprintf(bw, "%d %d", u, v); err != nil {
+			return
+		}
+		for _, l := range n.EdgeLabels(e) {
+			if _, err = fmt.Fprintf(bw, " %d", l); err != nil {
+				return
+			}
+		}
+		if err == nil {
+			_, err = bw.WriteString("\n")
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Decode parses a network in the tnet text format.
+func Decode(r io.Reader) (*Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line, err := nextLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("temporal: reading header: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 6 || fields[0] != "tnet" || fields[1] != "1" {
+		return nil, fmt.Errorf("temporal: bad header %q", line)
+	}
+	var directed bool
+	switch fields[2] {
+	case "directed":
+		directed = true
+	case "undirected":
+		directed = false
+	default:
+		return nil, fmt.Errorf("temporal: bad orientation %q", fields[2])
+	}
+	nv, err := strconv.Atoi(fields[3])
+	if err != nil || nv < 0 {
+		return nil, fmt.Errorf("temporal: bad vertex count %q", fields[3])
+	}
+	m, err := strconv.Atoi(fields[4])
+	if err != nil || m < 0 {
+		return nil, fmt.Errorf("temporal: bad edge count %q", fields[4])
+	}
+	lifetime, err := strconv.Atoi(fields[5])
+	if err != nil || lifetime < 1 {
+		return nil, fmt.Errorf("temporal: bad lifetime %q", fields[5])
+	}
+
+	b := graph.NewBuilder(nv, directed)
+	sets := make([][]int, 0, m)
+	for e := 0; e < m; e++ {
+		line, err := nextLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("temporal: edge %d: %w", e, err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("temporal: edge %d: short line %q", e, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("temporal: edge %d: bad endpoint %q", e, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("temporal: edge %d: bad endpoint %q", e, fields[1])
+		}
+		if u < 0 || u >= nv || v < 0 || v >= nv || u == v {
+			return nil, fmt.Errorf("temporal: edge %d: invalid endpoints (%d,%d)", e, u, v)
+		}
+		b.AddEdge(u, v)
+		labels := make([]int, 0, len(fields)-2)
+		for _, f := range fields[2:] {
+			l, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("temporal: edge %d: bad label %q", e, f)
+			}
+			labels = append(labels, l)
+		}
+		sets = append(sets, labels)
+	}
+	return New(b.Build(), lifetime, LabelingFromSets(sets))
+}
+
+// nextLine returns the next non-blank, non-comment line.
+func nextLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}

@@ -1,0 +1,227 @@
+// Package temporal implements the temporal-network model of the paper
+// (following Kempe–Kleinberg–Kumar and Mertzios et al.): a static (di)graph
+// whose every edge carries a sorted set of integer time labels in
+// {1, …, lifetime}, together with the journey machinery built on top —
+// foremost (earliest-arrival) journeys, temporal reachability, and the
+// temporal diameter.
+//
+// A label l on edge e={u,v} means e may be crossed exactly at time l (in
+// either direction when the graph is undirected). A journey is a path whose
+// consecutive hop labels strictly increase; its arrival time is its last
+// label. The temporal distance δ(u,v) is the minimum arrival time over all
+// (u,v)-journeys.
+//
+// The hot kernel is the single-source earliest-arrival scan: time edges are
+// bucket-sorted by label once at network construction, and one linear pass
+// ("arr[u] < l ⇒ arr[v] = min(arr[v], l)") computes δ(s,·) in O(M) where M
+// is the total number of labels. All-pairs computations parallelize across
+// sources with per-worker scratch.
+package temporal
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Unreachable is the arrival-time sentinel for vertices that no journey
+// reaches. It compares greater than any valid label.
+const Unreachable int32 = 1<<31 - 1
+
+// Labeling is a CSR label assignment: edge e carries
+// Labels[Off[e]:Off[e+1]]. Labels need not be pre-sorted per edge; network
+// construction sorts them. Assigners (package assign) produce Labelings.
+type Labeling struct {
+	Off    []int32
+	Labels []int32
+}
+
+// LabelingFromSets converts an explicit per-edge label-set slice into CSR
+// form; convenient for tests and examples.
+func LabelingFromSets(sets [][]int) Labeling {
+	off := make([]int32, len(sets)+1)
+	total := 0
+	for i, s := range sets {
+		total += len(s)
+		off[i+1] = int32(total)
+	}
+	labels := make([]int32, 0, total)
+	for _, s := range sets {
+		for _, l := range s {
+			labels = append(labels, int32(l))
+		}
+	}
+	return Labeling{Off: off, Labels: labels}
+}
+
+// Network is an immutable ephemeral temporal network: a static graph plus a
+// label assignment with all labels in {1, …, Lifetime()}.
+type Network struct {
+	g        *graph.Graph
+	lifetime int32
+
+	// Per-edge sorted labels in CSR form.
+	off    []int32
+	labels []int32
+
+	// Time edges bucket-sorted by label: time edge i is (edge teEdge[i],
+	// label teLabel[i]), with teLabel non-decreasing.
+	teEdge  []int32
+	teLabel []int32
+}
+
+// New assembles a temporal network from a graph and a labeling. It verifies
+// the CSR shape and label range, sorts each edge's labels, and bucket-sorts
+// the global time-edge list.
+func New(g *graph.Graph, lifetime int, lab Labeling) (*Network, error) {
+	if lifetime < 1 {
+		return nil, fmt.Errorf("temporal: lifetime %d < 1", lifetime)
+	}
+	m := g.M()
+	if len(lab.Off) != m+1 {
+		return nil, fmt.Errorf("temporal: labeling has %d offsets, want %d", len(lab.Off), m+1)
+	}
+	if lab.Off[0] != 0 || int(lab.Off[m]) != len(lab.Labels) {
+		return nil, fmt.Errorf("temporal: labeling offsets do not cover %d labels", len(lab.Labels))
+	}
+	for e := 0; e < m; e++ {
+		if lab.Off[e] > lab.Off[e+1] {
+			return nil, fmt.Errorf("temporal: labeling offsets decrease at edge %d", e)
+		}
+	}
+	for _, l := range lab.Labels {
+		if l < 1 || int(l) > lifetime {
+			return nil, fmt.Errorf("temporal: label %d outside [1,%d]", l, lifetime)
+		}
+	}
+	n := &Network{g: g, lifetime: int32(lifetime), off: lab.Off, labels: lab.Labels}
+	n.sortPerEdge()
+	n.buildTimeEdges()
+	return n, nil
+}
+
+// MustNew is New for callers whose labeling is correct by construction
+// (generators, tests); it panics on error.
+func MustNew(g *graph.Graph, lifetime int, lab Labeling) *Network {
+	n, err := New(g, lifetime, lab)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (n *Network) sortPerEdge() {
+	for e := 0; e < n.g.M(); e++ {
+		seg := n.labels[n.off[e]:n.off[e+1]]
+		if len(seg) > 1 && !int32sSorted(seg) {
+			sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+		}
+	}
+}
+
+func int32sSorted(s []int32) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildTimeEdges counting-sorts all (edge, label) pairs by label.
+func (n *Network) buildTimeEdges() {
+	total := len(n.labels)
+	counts := make([]int32, n.lifetime+2)
+	for _, l := range n.labels {
+		counts[l+1]++
+	}
+	for i := int32(1); i < n.lifetime+2; i++ {
+		counts[i] += counts[i-1]
+	}
+	n.teEdge = make([]int32, total)
+	n.teLabel = make([]int32, total)
+	for e := 0; e < n.g.M(); e++ {
+		for i := n.off[e]; i < n.off[e+1]; i++ {
+			l := n.labels[i]
+			p := counts[l]
+			counts[l] = p + 1
+			n.teEdge[p] = int32(e)
+			n.teLabel[p] = l
+		}
+	}
+}
+
+// Graph returns the underlying static graph.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// Lifetime returns the maximum admissible label a.
+func (n *Network) Lifetime() int { return int(n.lifetime) }
+
+// LabelCount returns the total number of labels M (= number of time edges).
+func (n *Network) LabelCount() int { return len(n.labels) }
+
+// EdgeLabels returns edge e's labels sorted ascending. The slice is shared
+// and must not be modified.
+func (n *Network) EdgeLabels(e int) []int32 {
+	return n.labels[n.off[e]:n.off[e+1]]
+}
+
+// HasLabelIn reports whether edge e carries a label in the half-open
+// interval (lo, hi], the window form used throughout the Expansion Process.
+func (n *Network) HasLabelIn(e int, lo, hi int32) bool {
+	_, ok := n.LabelIn(e, lo, hi)
+	return ok
+}
+
+// LabelIn returns the smallest label of edge e inside (lo, hi] and whether
+// one exists.
+func (n *Network) LabelIn(e int, lo, hi int32) (int32, bool) {
+	seg := n.EdgeLabels(e)
+	i := sort.Search(len(seg), func(i int) bool { return seg[i] > lo })
+	if i < len(seg) && seg[i] <= hi {
+		return seg[i], true
+	}
+	return 0, false
+}
+
+// FirstLabelAfter returns the smallest label of edge e strictly greater
+// than t, or (0, false) if none exists. This is the "next availability"
+// query a waiting protocol asks.
+func (n *Network) FirstLabelAfter(e int, t int32) (int32, bool) {
+	return n.LabelIn(e, t, n.lifetime)
+}
+
+// TimeEdges calls fn(edge, u, v, label) for every time edge in
+// non-decreasing label order. For undirected graphs the (u,v) orientation
+// is storage order; callers must treat the hop as bidirectional.
+func (n *Network) TimeEdges(fn func(e, u, v int, l int32)) {
+	for i := range n.teEdge {
+		e := int(n.teEdge[i])
+		u, v := n.g.Endpoints(e)
+		fn(e, u, v, n.teLabel[i])
+	}
+}
+
+// Reverse returns the time-reversed dual network: every arc is reversed
+// (undirected graphs are shared as-is) and every label l becomes
+// lifetime+1-l. A (u,v)-journey with labels l₁<…<l_k corresponds exactly
+// to a (v,u)-journey with labels a+1-l_k<…<a+1-l₁ in the dual, which turns
+// latest-departure questions into earliest-arrival ones and powers the
+// reverse expansion out of t in Algorithm 1.
+func (n *Network) Reverse() *Network {
+	rg := n.g.Reverse()
+	lab := Labeling{Off: n.off, Labels: make([]int32, len(n.labels))}
+	for i, l := range n.labels {
+		lab.Labels[i] = n.lifetime + 1 - l
+	}
+	// Edge ids are preserved by graph.Reverse, so the CSR offsets carry
+	// over unchanged; MustNew re-sorts per edge and rebuilds buckets.
+	return MustNew(rg, int(n.lifetime), lab)
+}
+
+// String summarizes the network.
+func (n *Network) String() string {
+	return fmt.Sprintf("temporal network on %v, lifetime=%d, labels=%d",
+		n.g, n.lifetime, len(n.labels))
+}

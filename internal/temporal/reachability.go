@@ -1,0 +1,259 @@
+package temporal
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// ReachedCount returns how many vertices (including s) are reachable from s
+// by a journey.
+func (n *Network) ReachedCount(s int) int {
+	arr := make([]int32, n.g.N())
+	return n.EarliestArrivalsInto(s, arr)
+}
+
+// Treach is the reachability-preservation property of Definition 6: for
+// every ordered pair (u,v), a static u→v path exists if and only if a
+// (u,v)-journey exists. SatisfiesTreach evaluates it over all sources in
+// parallel, returning early on the first violated source.
+func SatisfiesTreach(n *Network) bool {
+	g := n.g
+	nv := g.N()
+	if nv == 0 {
+		return true
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nv {
+		workers = nv
+	}
+	var next int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arr := make([]int32, nv)
+			dist := make([]int32, nv)
+			queue := make([]int32, 0, nv)
+			for !failed.Load() {
+				s := int(atomic.AddInt64(&next, 1) - 1)
+				if s >= nv {
+					return
+				}
+				staticReach := graph.BFSInto(g, s, dist, queue)
+				tempReach := n.EarliestArrivalsInto(s, arr)
+				if tempReach < staticReach {
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return !failed.Load()
+}
+
+// SatisfiesTreachSerial is SatisfiesTreach without internal parallelism.
+// Monte-Carlo trials that already run on a worker pool use it to avoid
+// nested goroutine fan-out; scratch may be nil or a *TreachScratch reused
+// across calls.
+func SatisfiesTreachSerial(n *Network, scratch *TreachScratch) bool {
+	g := n.g
+	nv := g.N()
+	if nv == 0 {
+		return true
+	}
+	if scratch == nil || len(scratch.arr) < nv {
+		scratch = NewTreachScratch(nv)
+	}
+	for s := 0; s < nv; s++ {
+		staticReach := graph.BFSInto(g, s, scratch.dist[:nv], scratch.queue)
+		tempReach := n.EarliestArrivalsInto(s, scratch.arr[:nv])
+		if tempReach < staticReach {
+			return false
+		}
+	}
+	return true
+}
+
+// TreachScratch holds the per-source work arrays for
+// SatisfiesTreachSerial.
+type TreachScratch struct {
+	arr, dist, queue []int32
+}
+
+// NewTreachScratch allocates scratch for graphs of up to n vertices.
+func NewTreachScratch(n int) *TreachScratch {
+	return &TreachScratch{
+		arr:   make([]int32, n),
+		dist:  make([]int32, n),
+		queue: make([]int32, 0, n),
+	}
+}
+
+// TreachViolations counts the ordered pairs (u,v) that have a static path
+// but no journey — the "damage" a labeling leaves. It is the quantitative
+// companion to SatisfiesTreach for experiment tables.
+func TreachViolations(n *Network) int {
+	g := n.g
+	nv := g.N()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nv {
+		workers = nv
+	}
+	if workers == 0 {
+		return 0
+	}
+	var next int64
+	var total int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arr := make([]int32, nv)
+			dist := make([]int32, nv)
+			queue := make([]int32, 0, nv)
+			local := 0
+			for {
+				s := int(atomic.AddInt64(&next, 1) - 1)
+				if s >= nv {
+					break
+				}
+				graph.BFSInto(g, s, dist, queue)
+				n.EarliestArrivalsInto(s, arr)
+				for v := 0; v < nv; v++ {
+					if dist[v] >= 0 && arr[v] == Unreachable {
+						local++
+					}
+				}
+			}
+			atomic.AddInt64(&total, int64(local))
+		}()
+	}
+	wg.Wait()
+	return int(total)
+}
+
+// DiameterResult is the outcome of a temporal-diameter computation on one
+// network instance.
+type DiameterResult struct {
+	// Max is the maximum finite temporal distance over the evaluated
+	// source/target pairs (0 when no pair is reachable).
+	Max int32
+	// AllReachable reports whether every evaluated ordered pair (s,t) with
+	// s != t has a journey. When false, the instance's temporal diameter is
+	// effectively infinite and Max covers only the reachable pairs.
+	AllReachable bool
+	// MeanFinite is the mean temporal distance over reachable pairs.
+	MeanFinite float64
+	// Pairs is the number of ordered pairs evaluated (excluding s == t).
+	Pairs int64
+}
+
+// Diameter computes max_{s,t} δ(s,t) exactly, running the earliest-arrival
+// kernel from every source in parallel.
+func Diameter(n *Network) DiameterResult {
+	sources := make([]int, n.g.N())
+	for i := range sources {
+		sources[i] = i
+	}
+	return DiameterFrom(n, sources)
+}
+
+// DiameterFrom computes the diameter restricted to the given source
+// vertices (targets still range over all vertices). Sampling sources gives
+// an unbiased lower estimate of the full temporal diameter at a fraction of
+// the cost; experiments use it for the largest n.
+func DiameterFrom(n *Network, sources []int) DiameterResult {
+	nv := n.g.N()
+	if nv == 0 || len(sources) == 0 {
+		return DiameterResult{AllReachable: true}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	type partial struct {
+		max       int32
+		reachable bool
+		sum       int64
+		finite    int64
+		pairs     int64
+	}
+	results := make(chan partial, workers)
+	var next int64
+	for w := 0; w < workers; w++ {
+		go func() {
+			arr := make([]int32, nv)
+			p := partial{reachable: true}
+			for {
+				i := int(atomic.AddInt64(&next, 1) - 1)
+				if i >= len(sources) {
+					break
+				}
+				s := sources[i]
+				n.EarliestArrivalsInto(s, arr)
+				for v := 0; v < nv; v++ {
+					if v == s {
+						continue
+					}
+					p.pairs++
+					a := arr[v]
+					if a == Unreachable {
+						p.reachable = false
+						continue
+					}
+					p.finite++
+					p.sum += int64(a)
+					if a > p.max {
+						p.max = a
+					}
+				}
+			}
+			results <- p
+		}()
+	}
+	var agg partial
+	agg.reachable = true
+	for w := 0; w < workers; w++ {
+		p := <-results
+		if p.max > agg.max {
+			agg.max = p.max
+		}
+		agg.reachable = agg.reachable && p.reachable
+		agg.sum += p.sum
+		agg.finite += p.finite
+		agg.pairs += p.pairs
+	}
+	res := DiameterResult{Max: agg.max, AllReachable: agg.reachable, Pairs: agg.pairs}
+	if agg.finite > 0 {
+		res.MeanFinite = float64(agg.sum) / float64(agg.finite)
+	}
+	return res
+}
+
+// Eccentricity returns max_t δ(s,t) from a single source and whether all
+// vertices were reached.
+func Eccentricity(n *Network, s int) (int32, bool) {
+	arr := n.EarliestArrivals(s)
+	var ecc int32
+	all := true
+	for v, a := range arr {
+		if v == s {
+			continue
+		}
+		if a == Unreachable {
+			all = false
+			continue
+		}
+		if a > ecc {
+			ecc = a
+		}
+	}
+	return ecc, all
+}

@@ -1,0 +1,288 @@
+package temporal
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestLatestDeparturesChain(t *testing.T) {
+	// 0 -(2)-> 1 -(5)-> 2, lifetime 10.
+	n := pathNet(t, 10, [][]int{{2}, {5}})
+	dep := n.LatestDepartures(2)
+	if dep[2] != 11 {
+		t.Fatalf("dep[target] = %d, want lifetime+1", dep[2])
+	}
+	if dep[1] != 5 {
+		t.Fatalf("dep[1] = %d, want 5", dep[1])
+	}
+	if dep[0] != 2 {
+		t.Fatalf("dep[0] = %d, want 2", dep[0])
+	}
+}
+
+func TestLatestDeparturesPicksLatestOption(t *testing.T) {
+	// Edge 0→1 has labels {2, 4, 9}; 1→2 has {5}. Departing 0 at 4 still
+	// works (4 < 5); 9 does not.
+	n := pathNet(t, 10, [][]int{{2, 4, 9}, {5}})
+	dep := n.LatestDepartures(2)
+	if dep[0] != 4 {
+		t.Fatalf("dep[0] = %d, want 4", dep[0])
+	}
+}
+
+func TestLatestDeparturesUnreachable(t *testing.T) {
+	n := pathNet(t, 10, [][]int{{4}, {4}})
+	d := n.LatestDepartures(2)
+	if d[0] != NoDeparture {
+		t.Fatalf("dep[0] = %d, want NoDeparture", d[0])
+	}
+	if d[1] != 4 {
+		t.Fatalf("dep[1] = %d, want 4", d[1])
+	}
+}
+
+func TestLatestDeparturesEqualLabelsDoNotChain(t *testing.T) {
+	n := pathNet(t, 10, [][]int{{4}, {4}})
+	if cnt := n.LatestDeparturesInto(2, make([]int32, 3)); cnt != 2 {
+		t.Fatalf("reached = %d, want 2 (vertex 0 cut off)", cnt)
+	}
+}
+
+func TestShortestHopsTriangle(t *testing.T) {
+	// Triangle: direct edge late but valid; two-hop path earlier. Shortest
+	// = 1 hop even though foremost uses 2 hops.
+	b := graph.NewBuilder(3, false)
+	e01 := b.AddEdge(0, 1)
+	e12 := b.AddEdge(1, 2)
+	e02 := b.AddEdge(0, 2)
+	g := b.Build()
+	sets := make([][]int, 3)
+	sets[e01] = []int{2}
+	sets[e12] = []int{4}
+	sets[e02] = []int{9}
+	n := MustNew(g, 10, LabelingFromSets(sets))
+
+	arr := n.EarliestArrivals(0)
+	if arr[2] != 4 {
+		t.Fatalf("foremost arrival = %d, want 4", arr[2])
+	}
+	hops := n.ShortestHops(0)
+	if hops[0] != 0 || hops[1] != 1 || hops[2] != 1 {
+		t.Fatalf("hops = %v, want [0 1 1]", hops)
+	}
+	j, ok := n.ShortestJourney(0, 2)
+	if !ok || len(j) != 1 {
+		t.Fatalf("shortest journey = %v (ok=%v), want single hop", j, ok)
+	}
+	if err := j.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	if j[0].Label != 9 {
+		t.Fatalf("shortest journey label = %d, want 9 (the direct edge)", j[0].Label)
+	}
+}
+
+func TestShortestHopsRespectsTime(t *testing.T) {
+	// Static shortest path blocked temporally: 0-1-2 labels (5, 3): no
+	// 2-hop journey; but a longer detour 0-3-4-2 with labels 1,2,3 works.
+	b := graph.NewBuilder(5, false)
+	b.AddEdge(0, 1) // {5}
+	b.AddEdge(1, 2) // {3}
+	b.AddEdge(0, 3) // {1}
+	b.AddEdge(3, 4) // {2}
+	b.AddEdge(4, 2) // {3}
+	n := MustNew(b.Build(), 10, LabelingFromSets([][]int{{5}, {3}, {1}, {2}, {3}}))
+	hops := n.ShortestHops(0)
+	if hops[2] != 3 {
+		t.Fatalf("hops[2] = %d, want 3 (temporal detour)", hops[2])
+	}
+	j, ok := n.ShortestJourney(0, 2)
+	if !ok || len(j) != 3 {
+		t.Fatalf("journey = %v", j)
+	}
+	if err := j.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortestJourneyUnreachableAndTrivial(t *testing.T) {
+	n := pathNet(t, 10, [][]int{{4}, {4}})
+	if _, ok := n.ShortestJourney(0, 2); ok {
+		t.Fatal("journey should not exist")
+	}
+	j, ok := n.ShortestJourney(1, 1)
+	if !ok || len(j) != 0 {
+		t.Fatalf("trivial journey = %v", j)
+	}
+}
+
+func TestFastestDurationsWindow(t *testing.T) {
+	// 0→1 labels {1, 6}; 1→2 labels {3, 7}. Foremost arrives at 3
+	// (duration 3: depart 1, arrive 3); fastest departs 6, arrives 7
+	// (duration 2).
+	n := pathNet(t, 10, [][]int{{1, 6}, {3, 7}})
+	arr := n.EarliestArrivals(0)
+	if arr[2] != 3 {
+		t.Fatalf("foremost = %d", arr[2])
+	}
+	dur := n.FastestDurations(0)
+	if dur[0] != 0 {
+		t.Fatalf("dur[s] = %d", dur[0])
+	}
+	if dur[1] != 1 {
+		t.Fatalf("dur[1] = %d, want 1 (single hop)", dur[1])
+	}
+	if dur[2] != 2 {
+		t.Fatalf("dur[2] = %d, want 2 (depart 6, arrive 7)", dur[2])
+	}
+
+	j, ok := n.FastestJourney(0, 2)
+	if !ok {
+		t.Fatal("fastest journey missing")
+	}
+	if err := j.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	got := j.ArrivalTime() - j[0].Label + 1
+	if got != 2 {
+		t.Fatalf("fastest journey duration = %d, want 2 (journey %v)", got, j)
+	}
+}
+
+func TestFastestJourneyUnreachableAndTrivial(t *testing.T) {
+	n := pathNet(t, 10, [][]int{{4}, {4}})
+	if _, ok := n.FastestJourney(0, 2); ok {
+		t.Fatal("journey should not exist")
+	}
+	if dur := n.FastestDurations(0); dur[2] != -1 {
+		t.Fatalf("dur[2] = %d, want -1", dur[2])
+	}
+	j, ok := n.FastestJourney(2, 2)
+	if !ok || len(j) != 0 {
+		t.Fatalf("trivial = %v", j)
+	}
+}
+
+// Property: LatestDepartures agrees with the time-reversal dual —
+// dep(v→t) in N equals lifetime+1 − EarliestArrivals from t in Reverse().
+func TestQuickLatestDepartureDuality(t *testing.T) {
+	f := func(seed uint64, directed bool) bool {
+		net := randomNetwork(seed, 12, directed)
+		rev := net.Reverse()
+		a := int32(net.Lifetime())
+		nv := net.Graph().N()
+		for tt := 0; tt < nv; tt++ {
+			dep := net.LatestDepartures(tt)
+			arr := rev.EarliestArrivals(tt)
+			for v := 0; v < nv; v++ {
+				if v == tt {
+					continue
+				}
+				if (dep[v] == NoDeparture) != (arr[v] == Unreachable) {
+					return false
+				}
+				if dep[v] != NoDeparture && dep[v] != a+1-arr[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reachability agrees across all four semantics, journeys
+// validate, and the metrics nest correctly (hops ≤ foremost-journey hops,
+// duration ≤ foremost duration).
+func TestQuickVariantsConsistent(t *testing.T) {
+	f := func(seed uint64, directed bool) bool {
+		net := randomNetwork(seed, 10, directed)
+		nv := net.Graph().N()
+		for s := 0; s < nv; s++ {
+			arr := net.EarliestArrivals(s)
+			hops := net.ShortestHops(s)
+			dur := net.FastestDurations(s)
+			for v := 0; v < nv; v++ {
+				if v == s {
+					continue
+				}
+				reach := arr[v] != Unreachable
+				if (hops[v] >= 0) != reach || (dur[v] >= 0) != reach {
+					return false
+				}
+				if !reach {
+					continue
+				}
+				fj, ok1 := net.ForemostJourney(s, v)
+				sj, ok2 := net.ShortestJourney(s, v)
+				qj, ok3 := net.FastestJourney(s, v)
+				if !ok1 || !ok2 || !ok3 {
+					return false
+				}
+				if sj.Validate(net) != nil || qj.Validate(net) != nil {
+					return false
+				}
+				if int32(len(sj)) != hops[v] || len(sj) > len(fj) {
+					return false
+				}
+				qDur := qj.ArrivalTime() - qj[0].Label + 1
+				fDur := fj.ArrivalTime() - fj[0].Label + 1
+				if qDur != dur[v] || qDur > fDur {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LatestDeparturesInto count equals the number of vertices that
+// can reach t (cross-checked against per-source earliest arrivals).
+func TestQuickLatestDepartureCount(t *testing.T) {
+	f := func(seed uint64, directed bool) bool {
+		net := randomNetwork(seed, 10, directed)
+		nv := net.Graph().N()
+		dep := make([]int32, nv)
+		for tt := 0; tt < nv; tt++ {
+			got := net.LatestDeparturesInto(tt, dep)
+			want := 0
+			for s := 0; s < nv; s++ {
+				if net.EarliestArrivals(s)[tt] != Unreachable {
+					want++
+				}
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLatestDepartures(b *testing.B) {
+	net := cliqueSingleLabelNet(256, true, 1)
+	dep := make([]int32, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.LatestDeparturesInto(i%256, dep)
+	}
+}
+
+func BenchmarkShortestHops(b *testing.B) {
+	net := cliqueSingleLabelNet(128, true, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ShortestHops(i % 128)
+	}
+}
