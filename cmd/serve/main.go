@@ -1,0 +1,83 @@
+// Command serve runs the experiment service: a JSON HTTP API over the
+// E1–E14 drivers with a bounded worker pool and an LRU result cache.
+//
+// Usage:
+//
+//	serve -addr :8080 -workers 4 -cache 256 -queue 256
+//
+// Endpoints (see internal/service.NewHandler):
+//
+//	GET  /experiments               registry metadata
+//	POST /jobs                      {"experiment":"E1","seed":2014,"quick":true}
+//	GET  /jobs/{id}                 status + live trial progress
+//	GET  /jobs/{id}/result?format=json|csv|md
+//	POST /jobs/{id}/cancel          cancel an in-flight job
+//	GET  /healthz                   liveness
+//	GET  /stats                     jobs run, cache hit rate, in-flight count
+//
+// Determinism makes the cache sound: a job's numbers depend only on
+// (experiment, seed, quick), so repeated submissions are served from cache
+// bit-identically.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "concurrent jobs (0: half of GOMAXPROCS)")
+		cache   = flag.Int("cache", 256, "LRU result-cache capacity")
+		queue   = flag.Int("queue", 256, "job queue depth")
+	)
+	flag.Parse()
+
+	m := service.New(service.Options{Workers: *workers, CacheSize: *cache, QueueDepth: *queue})
+	defer m.Close()
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      logRequests(service.NewHandler(m)),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 5 * time.Minute, // full-scale results take a while to render
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Printf("serve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("serve: experiment service listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("serve: %v", err)
+	}
+	stop()    // no more signals needed; unblocks the goroutine on clean exit
+	<-drained // wait for in-flight responses before tearing down the manager
+}
+
+// logRequests is a minimal access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

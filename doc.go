@@ -25,9 +25,21 @@
 //	internal/rng         deterministic splittable randomness
 //	internal/sim         parallel Monte-Carlo harness
 //	internal/stats       samples, confidence intervals, regression
-//	internal/table       ASCII/CSV/Markdown tables and ASCII plots
-//	internal/experiments experiment drivers E1–E14 (see DESIGN.md)
-//	cmd/...              command-line tools; examples/... runnable examples
+//	internal/table       ASCII/CSV/Markdown/JSON tables and ASCII plots
+//	internal/experiments experiment drivers E1–E14 (see DESIGN.md), plus the
+//	                     context-aware Run wrapper with per-trial progress
+//	internal/service     experiment service: job manager over a bounded
+//	                     worker pool, LRU result cache keyed by
+//	                     (experiment, Config), JSON HTTP API
+//	cmd/...              command-line tools; cmd/serve runs the HTTP
+//	                     service; examples/... runnable examples
+//
+// The experiment service (internal/service + cmd/serve) turns the one-shot
+// drivers into a long-running system: jobs are submitted, tracked and
+// cancelled over HTTP, results are rendered as JSON/CSV/Markdown, and —
+// because every driver is a pure function of (experiment, seed, quick) —
+// repeated requests are served bit-identically from an LRU cache. See the
+// README for endpoint documentation and curl examples.
 //
 // The root package holds the repository-level benchmarks (bench_test.go):
 // one benchmark per experiment table/figure plus micro-benchmarks of the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/assign"
@@ -22,7 +23,15 @@ import (
 // independent uniform labels from {1,…,lifetime}: the success fraction over
 // the given number of trials, with its Wilson 95% confidence interval.
 func ReachabilityRate(g *graph.Graph, lifetime, r, trials int, seed uint64) (rate, lo, hi float64) {
-	res := sim.Runner{Trials: trials, Seed: seed}.Run(func(trial int, stream *rng.Stream) sim.Metrics {
+	return ReachabilityRateCtx(context.Background(), g, lifetime, r, trials, seed)
+}
+
+// ReachabilityRateCtx is ReachabilityRate under a context: cancellation
+// stops the Monte-Carlo early and the rate covers completed trials only
+// (the confidence interval still divides by the requested trial count, so
+// a cancelled probe under-reports — callers abandon the search anyway).
+func ReachabilityRateCtx(ctx context.Context, g *graph.Graph, lifetime, r, trials int, seed uint64) (rate, lo, hi float64) {
+	res, _ := sim.Runner{Trials: trials, Seed: seed}.RunContext(ctx, func(trial int, stream *rng.Stream) sim.Metrics {
 		lab := assign.Uniform(g, lifetime, r, stream)
 		net := temporal.MustNew(g, lifetime, lab)
 		ok := 0.0
@@ -43,6 +52,13 @@ func ReachabilityRate(g *graph.Graph, lifetime, r, trials int, seed uint64) (rat
 // transition is sharp relative to the binomial error. The second result is
 // false when even rMax does not reach the target.
 func EstimateR(g *graph.Graph, lifetime int, target float64, trials int, seed uint64, rMax int) (int, bool) {
+	return EstimateRCtx(context.Background(), g, lifetime, target, trials, seed, rMax)
+}
+
+// EstimateRCtx is EstimateR under a context. On cancellation the search
+// aborts between (or inside) probes and returns its current upper bracket
+// with ok=false; callers must treat the pair as "not found".
+func EstimateRCtx(ctx context.Context, g *graph.Graph, lifetime int, target float64, trials int, seed uint64, rMax int) (int, bool) {
 	if target <= 0 || target > 1 {
 		panic("core: EstimateR target must be in (0,1]")
 	}
@@ -51,12 +67,15 @@ func EstimateR(g *graph.Graph, lifetime int, target float64, trials int, seed ui
 	}
 	rate := func(r int) float64 {
 		// Derive a distinct seed per r so searches don't reuse instances.
-		got, _, _ := ReachabilityRate(g, lifetime, r, trials, seed+uint64(r)*0x9e37)
+		got, _, _ := ReachabilityRateCtx(ctx, g, lifetime, r, trials, seed+uint64(r)*0x9e37)
 		return got
 	}
 	// Doubling phase.
 	hi := 1
 	for rate(hi) < target {
+		if ctx.Err() != nil {
+			return hi, false
+		}
 		if hi >= rMax {
 			return rMax, false
 		}
@@ -67,6 +86,9 @@ func EstimateR(g *graph.Graph, lifetime int, target float64, trials int, seed ui
 	}
 	lo := hi / 2 // rate(lo) known < target when lo >= 1; lo==0 means hi==1
 	for lo+1 < hi {
+		if ctx.Err() != nil {
+			return hi, false
+		}
 		mid := (lo + hi) / 2
 		if rate(mid) >= target {
 			hi = mid
@@ -74,7 +96,7 @@ func EstimateR(g *graph.Graph, lifetime int, target float64, trials int, seed ui
 			lo = mid
 		}
 	}
-	return hi, true
+	return hi, ctx.Err() == nil
 }
 
 // WHPTarget returns the paper's "with high probability" success threshold

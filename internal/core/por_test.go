@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -157,5 +159,29 @@ func TestTheoremSevenRSatisfiesReachability(t *testing.T) {
 	rate, _, _ := ReachabilityRate(g, g.N(), r, 30, 7)
 	if rate < 0.95 {
 		t.Fatalf("Theorem 7 r=%d gave rate %v on C_24", r, rate)
+	}
+}
+
+func TestEstimateRCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A cancelled context must abort the search immediately and report
+	// "not found" so callers discard the bracket.
+	start := time.Now()
+	r, ok := EstimateRCtx(ctx, graph.Star(256), 256, 0.99, 1000, 1, 1<<20)
+	if ok {
+		t.Fatalf("cancelled search reported success (r=%d)", r)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled search still ran for %v", elapsed)
+	}
+}
+
+func TestEstimateRCtxMatchesEstimateR(t *testing.T) {
+	g := graph.Star(32)
+	r1, ok1 := EstimateR(g, 32, WHPTarget(32), 20, 5, 512)
+	r2, ok2 := EstimateRCtx(context.Background(), g, 32, WHPTarget(32), 20, 5, 512)
+	if r1 != r2 || ok1 != ok2 {
+		t.Fatalf("EstimateR (%d,%v) != EstimateRCtx (%d,%v)", r1, ok1, r2, ok2)
 	}
 }

@@ -1,0 +1,156 @@
+// Package dist provides the label laws of the paper's F-CASE (§2 note):
+// distributions over the label set {1,…,a} from which FromDistribution
+// draws per-edge availability labels. The UNI-CASE is the uniform law;
+// the others move the label mass early (geometric, zipf) or to the middle
+// (binomial) so experiments can separate "how many labels" from "where the
+// labels sit".
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Distribution is a label law over {1,…,Lifetime()}.
+type Distribution interface {
+	// Sample draws one label in {1,…,Lifetime()} using only the given
+	// stream, so assignments built from it stay deterministic per seed.
+	Sample(r *rng.Stream) int
+	// Lifetime is the largest label the law can produce (the paper's a).
+	Lifetime() int
+	// Name is a short identifier used in table rows.
+	Name() string
+}
+
+// Uniform is the UNI-CASE law: every label in {1,…,a} equally likely.
+type Uniform struct{ a int }
+
+// NewUniform returns the uniform law on {1,…,a}.
+func NewUniform(a int) Uniform {
+	checkLifetime(a)
+	return Uniform{a}
+}
+
+func (u Uniform) Sample(r *rng.Stream) int { return 1 + r.Intn(u.a) }
+func (u Uniform) Lifetime() int            { return u.a }
+func (u Uniform) Name() string             { return "uniform" }
+
+// Binomial shifts a Binomial(a−1, p) draw to {1,…,a}: the label mass peaks
+// near p·a, modelling links that mostly become available mid-lifetime.
+type Binomial struct {
+	p float64
+	a int
+}
+
+// NewBinomial returns the shifted binomial law 1 + Bin(a−1, p).
+func NewBinomial(p float64, a int) Binomial {
+	checkLifetime(a)
+	checkProb(p)
+	return Binomial{p, a}
+}
+
+func (b Binomial) Sample(r *rng.Stream) int {
+	k := 1
+	for i := 0; i < b.a-1; i++ {
+		if r.Bernoulli(b.p) {
+			k++
+		}
+	}
+	return k
+}
+func (b Binomial) Lifetime() int { return b.a }
+func (b Binomial) Name() string  { return fmt.Sprintf("binom(p=%.3g)", b.p) }
+
+// Geometric is the geometric law with success probability p truncated to
+// {1,…,a}: mass concentrates on the earliest labels, the "eager links"
+// regime. Truncation folds the tail onto a, keeping Sample O(1).
+type Geometric struct {
+	p float64
+	a int
+}
+
+// NewGeometric returns the truncated geometric law on {1,…,a}.
+func NewGeometric(p float64, a int) Geometric {
+	checkLifetime(a)
+	checkProb(p)
+	return Geometric{p, a}
+}
+
+func (g Geometric) Sample(r *rng.Stream) int {
+	if g.p == 1 {
+		return 1
+	}
+	// Inversion: k = 1 + ⌊ln U / ln(1−p)⌋ is Geometric(p) on {1,2,…}.
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	k := 1 + int(math.Log(u)/math.Log(1-g.p))
+	if k < 1 {
+		k = 1
+	}
+	if k > g.a {
+		k = g.a
+	}
+	return k
+}
+func (g Geometric) Lifetime() int { return g.a }
+func (g Geometric) Name() string  { return fmt.Sprintf("geom(p=%.3g)", g.p) }
+
+// Zipf is the power law P(k) ∝ k^(−s) on {1,…,a}: heavy early mass with a
+// polynomial (rather than exponential) tail.
+type Zipf struct {
+	s   float64
+	a   int
+	cdf []float64
+}
+
+// NewZipf returns the Zipf law with exponent s > 0 on {1,…,a}.
+func NewZipf(s float64, a int) Zipf {
+	checkLifetime(a)
+	if s <= 0 || math.IsNaN(s) {
+		panic("dist: zipf exponent must be > 0")
+	}
+	cdf := make([]float64, a)
+	sum := 0.0
+	for k := 1; k <= a; k++ {
+		sum += math.Pow(float64(k), -s)
+		cdf[k-1] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	cdf[a-1] = 1 // guard against rounding
+	return Zipf{s, a, cdf}
+}
+
+func (z Zipf) Sample(r *rng.Stream) int {
+	u := r.Float64()
+	// Binary search for the first k with cdf[k−1] ≥ u.
+	lo, hi := 0, z.a-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] >= u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo + 1
+}
+func (z Zipf) Lifetime() int { return z.a }
+func (z Zipf) Name() string  { return fmt.Sprintf("zipf(s=%.3g)", z.s) }
+
+func checkLifetime(a int) {
+	if a < 1 {
+		panic("dist: lifetime must be >= 1")
+	}
+}
+
+func checkProb(p float64) {
+	if !(p > 0 && p <= 1) {
+		panic("dist: probability must be in (0,1]")
+	}
+}

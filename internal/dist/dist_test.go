@@ -1,0 +1,110 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// sampleMany draws n samples and returns their histogram plus the mean.
+func sampleMany(t *testing.T, d Distribution, n int) ([]int, float64) {
+	t.Helper()
+	hist := make([]int, d.Lifetime()+1)
+	sum := 0.0
+	r := rng.New(42)
+	for i := 0; i < n; i++ {
+		k := d.Sample(r)
+		if k < 1 || k > d.Lifetime() {
+			t.Fatalf("%s sampled %d outside {1,…,%d}", d.Name(), k, d.Lifetime())
+		}
+		hist[k]++
+		sum += float64(k)
+	}
+	return hist, sum / float64(n)
+}
+
+func TestRangesAndNames(t *testing.T) {
+	for _, d := range []Distribution{
+		NewUniform(20),
+		NewBinomial(0.5, 20),
+		NewGeometric(0.1, 20),
+		NewZipf(1.1, 20),
+	} {
+		if d.Name() == "" {
+			t.Fatal("empty name")
+		}
+		if d.Lifetime() != 20 {
+			t.Fatalf("%s lifetime %d", d.Name(), d.Lifetime())
+		}
+		sampleMany(t, d, 2000)
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	_, mean := sampleMany(t, NewUniform(100), 20000)
+	if math.Abs(mean-50.5) > 2 {
+		t.Fatalf("uniform mean %v, want ≈50.5", mean)
+	}
+}
+
+func TestBinomialPeaksMid(t *testing.T) {
+	_, mean := sampleMany(t, NewBinomial(0.5, 101), 5000)
+	if math.Abs(mean-51) > 2 {
+		t.Fatalf("binomial mean %v, want ≈51", mean)
+	}
+}
+
+func TestGeometricConcentratesEarly(t *testing.T) {
+	hist, mean := sampleMany(t, NewGeometric(0.25, 50), 20000)
+	if mean > 6 {
+		t.Fatalf("geometric mean %v, want ≈4", mean)
+	}
+	if hist[1] <= hist[2] || hist[2] <= hist[3] {
+		t.Fatalf("geometric mass not decreasing: %v", hist[:5])
+	}
+}
+
+func TestGeometricPOne(t *testing.T) {
+	if k := NewGeometric(1, 10).Sample(rng.New(1)); k != 1 {
+		t.Fatalf("geom(p=1) sampled %d", k)
+	}
+}
+
+func TestZipfHeavyHead(t *testing.T) {
+	hist, _ := sampleMany(t, NewZipf(1.5, 50), 20000)
+	if hist[1] < hist[2] || hist[1] < 3*hist[10] {
+		t.Fatalf("zipf head not heavy: 1→%d 2→%d 10→%d", hist[1], hist[2], hist[10])
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	for _, d := range []Distribution{
+		NewUniform(30), NewBinomial(0.3, 30), NewGeometric(0.2, 30), NewZipf(1.2, 30),
+	} {
+		a, b := rng.New(7), rng.New(7)
+		for i := 0; i < 100; i++ {
+			if x, y := d.Sample(a), d.Sample(b); x != y {
+				t.Fatalf("%s not deterministic at draw %d: %d vs %d", d.Name(), i, x, y)
+			}
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"uniform-zero": func() { NewUniform(0) },
+		"binom-p0":     func() { NewBinomial(0, 10) },
+		"geom-p2":      func() { NewGeometric(2, 10) },
+		"zipf-s0":      func() { NewZipf(0, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -35,7 +35,7 @@ func E10PhoneCall(cfg Config) Result {
 	for _, n := range ns {
 		gu := graph.Clique(n, false)
 		gd := graph.Clique(n, true)
-		res := sim.Runner{Trials: trials, Seed: cfg.Seed + uint64(n)*11}.Run(func(trial int, r *rng.Stream) sim.Metrics {
+		res := cfg.run(trials, cfg.Seed+uint64(n)*11, func(trial int, r *rng.Stream) sim.Metrics {
 			m := sim.Metrics{}
 			src := r.Intn(n)
 			pu := phonecall.Push(gu, src, 0, r)

@@ -33,7 +33,7 @@ func E11MultiLabel(cfg Config) Result {
 	lnN := math.Log(float64(n))
 	var xs, ys []float64
 	for _, r := range rs {
-		res := sim.Runner{Trials: trials, Seed: cfg.Seed + uint64(r)<<10}.Run(func(trial int, stream *rng.Stream) sim.Metrics {
+		res := cfg.run(trials, cfg.Seed+uint64(r)<<10, func(trial int, stream *rng.Stream) sim.Metrics {
 			lab := assign.Uniform(g, n, r, stream)
 			net := temporal.MustNew(g, n, lab)
 			d := serialDiameter(net, 128, stream)

@@ -45,8 +45,10 @@ func E12Distributions(cfg Config) Result {
 		"E12: F-RTN clique with one label per edge under different label laws (§2 note)",
 		"law", "TD mean (reached)", "±95%", "all-reach rate", "mean δ finite", "mean label",
 	)
-	for _, law := range laws(n) {
-		res := sim.Runner{Trials: trials, Seed: cfg.Seed + uint64(len(law.Name()))<<9}.Run(func(trial int, stream *rng.Stream) sim.Metrics {
+	for li, law := range laws(n) {
+		// Seed by law index: name-derived seeds collide (the two geometric
+		// laws format to equal-length names), correlating their trials.
+		res := cfg.run(trials, cfg.Seed+uint64(li+1)<<9, func(trial int, stream *rng.Stream) sim.Metrics {
 			lab := assign.FromDistribution(g, law, 1, stream)
 			net := temporal.MustNew(g, n, lab)
 			d := serialDiameter(net, 96, stream)
@@ -90,8 +92,8 @@ func E12Distributions(cfg Config) Result {
 		"E12b: same label budget on the path — early concentration breaks long journeys",
 		"law", "r/edge", "Pr[Treach]", "mean label",
 	)
-	for _, law := range laws(np) {
-		res := sim.Runner{Trials: trials * 2, Seed: cfg.Seed ^ 0xE12B + uint64(len(law.Name()))}.Run(func(trial int, stream *rng.Stream) sim.Metrics {
+	for li, law := range laws(np) {
+		res := cfg.run(trials*2, cfg.Seed^0xE12B+uint64(li+1), func(trial int, stream *rng.Stream) sim.Metrics {
 			lab := assign.FromDistribution(path, law, r, stream)
 			net := temporal.MustNew(path, np, lab)
 			ok := 0.0

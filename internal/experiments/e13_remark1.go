@@ -34,7 +34,7 @@ func E13Remark1(cfg Config) Result {
 	for _, n := range ns {
 		gd := graph.Clique(n, true)
 		gu := graph.Clique(n, false)
-		res := sim.Runner{Trials: trials, Seed: cfg.Seed ^ 0xE13 + uint64(n)}.Run(func(trial int, r *rng.Stream) sim.Metrics {
+		res := cfg.run(trials, cfg.Seed^0xE13+uint64(n), func(trial int, r *rng.Stream) sim.Metrics {
 			m := sim.Metrics{}
 			netD := temporal.MustNew(gd, n, assign.NormalizedURTN(gd, r))
 			dD := serialDiameter(netD, 128, r)

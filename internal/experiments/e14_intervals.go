@@ -37,7 +37,7 @@ func E14Windows(cfg Config) Result {
 	)
 	var xs, ys []float64
 	for _, w := range ws {
-		res := sim.Runner{Trials: trials, Seed: cfg.Seed ^ 0xE14 + uint64(w)<<8}.Run(func(trial int, stream *rng.Stream) sim.Metrics {
+		res := cfg.run(trials, cfg.Seed^0xE14+uint64(w)<<8, func(trial int, stream *rng.Stream) sim.Metrics {
 			lab := assign.UniformWindows(g, n, w, stream)
 			net := temporal.MustNew(g, n, lab)
 			d := serialDiameter(net, 128, stream)

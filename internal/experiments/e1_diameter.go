@@ -36,7 +36,7 @@ func E1Diameter(cfg Config) Result {
 	var xs, ys []float64
 	for _, n := range ns {
 		g := graph.Clique(n, true)
-		res := sim.Runner{Trials: trials, Seed: cfg.Seed + uint64(n)}.Run(func(trial int, r *rng.Stream) sim.Metrics {
+		res := cfg.run(trials, cfg.Seed+uint64(n), func(trial int, r *rng.Stream) sim.Metrics {
 			lab := assign.NormalizedURTN(g, r)
 			net := temporal.MustNew(g, n, lab)
 			d := serialDiameter(net, maxSources, r)
@@ -74,7 +74,7 @@ func E1Diameter(cfg Config) Result {
 	)
 	for _, n := range ns {
 		g := graph.Clique(n, true)
-		res := sim.Runner{Trials: trials, Seed: cfg.Seed ^ 0xE1B + uint64(n)}.Run(func(trial int, r *rng.Stream) sim.Metrics {
+		res := cfg.run(trials, cfg.Seed^0xE1B+uint64(n), func(trial int, r *rng.Stream) sim.Metrics {
 			lab := assign.NormalizedURTN(g, r)
 			net := temporal.MustNew(g, n, lab)
 			k := smallestConnectedPrefix(net)

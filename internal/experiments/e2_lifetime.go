@@ -33,7 +33,7 @@ func E2Lifetime(cfg Config) Result {
 	var xs, ys []float64
 	for _, c := range cs {
 		a := c * n
-		res := sim.Runner{Trials: trials, Seed: cfg.Seed + uint64(c)<<8}.Run(func(trial int, r *rng.Stream) sim.Metrics {
+		res := cfg.run(trials, cfg.Seed+uint64(c)<<8, func(trial int, r *rng.Stream) sim.Metrics {
 			lab := assign.Uniform(g, a, 1, r)
 			net := temporal.MustNew(g, a, lab)
 			d := serialDiameter(net, 128, r)

@@ -32,7 +32,7 @@ func E3Expansion(cfg Config) Result {
 	)
 	for _, n := range ns {
 		g := graph.Clique(n, true)
-		res := sim.Runner{Trials: trials, Seed: cfg.Seed + uint64(n)*3}.Run(func(trial int, r *rng.Stream) sim.Metrics {
+		res := cfg.run(trials, cfg.Seed+uint64(n)*3, func(trial int, r *rng.Stream) sim.Metrics {
 			lab := assign.NormalizedURTN(g, r)
 			net := temporal.MustNew(g, n, lab)
 			s := r.Intn(n)
@@ -88,7 +88,7 @@ func E3Expansion(cfg Config) Result {
 		c1 float64
 		c2 int
 	}{{1, 4}, {2, 4}, {2, 8}, {3, 8}, {4, 16}} {
-		res := sim.Runner{Trials: trials, Seed: cfg.Seed ^ 0xE3B + uint64(pc.c2)<<16 + uint64(pc.c1)}.Run(func(trial int, r *rng.Stream) sim.Metrics {
+		res := cfg.run(trials, cfg.Seed^0xE3B+uint64(pc.c2)<<16+uint64(pc.c1), func(trial int, r *rng.Stream) sim.Metrics {
 			lab := assign.NormalizedURTN(gAb, r)
 			net := temporal.MustNew(gAb, nAb, lab)
 			s := r.Intn(nAb)

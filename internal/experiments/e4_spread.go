@@ -33,7 +33,7 @@ func E4Spread(cfg Config) Result {
 	var xs, ys []float64
 	for _, n := range ns {
 		g := graph.Clique(n, true)
-		res := sim.Runner{Trials: trials, Seed: cfg.Seed + uint64(n)*7}.Run(func(trial int, r *rng.Stream) sim.Metrics {
+		res := cfg.run(trials, cfg.Seed+uint64(n)*7, func(trial int, r *rng.Stream) sim.Metrics {
 			lab := assign.NormalizedURTN(g, r)
 			net := temporal.MustNew(g, n, lab)
 			src := r.Intn(n)

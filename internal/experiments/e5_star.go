@@ -37,7 +37,7 @@ func E5StarReachability(cfg Config) Result {
 		for _, rho := range rhos {
 			r := int(math.Max(1, math.Round(rho*log2n)))
 			g := graph.Star(n)
-			res := sim.Runner{Trials: trials, Seed: cfg.Seed + uint64(n)<<20 + uint64(rho*16)}.Run(func(trial int, stream *rng.Stream) sim.Metrics {
+			res := cfg.run(trials, cfg.Seed+uint64(n)<<20+uint64(rho*16), func(trial int, stream *rng.Stream) sim.Metrics {
 				lab := assign.Uniform(g, n, r, stream)
 				net := temporal.MustNew(g, n, lab)
 				m := sim.Metrics{"reach": 0, "split": 0}

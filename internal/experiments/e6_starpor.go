@@ -29,9 +29,12 @@ func E6StarPoR(cfg Config) Result {
 	)
 	var xs, ys []float64
 	for _, n := range ns {
+		if cfg.cancelled() {
+			break
+		}
 		g := graph.Star(n)
 		m := g.M()
-		r, ok := core.EstimateR(g, n, core.WHPTarget(n), trials, cfg.Seed+uint64(n)<<12, 64*int(math.Log2(float64(n))))
+		r, ok := core.EstimateRCtx(cfg.ctx(), g, n, core.WHPTarget(n), trials, cfg.Seed+uint64(n)<<12, 64*int(math.Log2(float64(n))))
 		rOut := table.I(r)
 		if !ok {
 			rOut = ">" + rOut

@@ -88,7 +88,7 @@ func E7GeneralReachability(cfg Config) Result {
 		boxOK := treachOf(fam.g, q, boxLab)
 		for _, c := range cs {
 			r := int(math.Max(1, math.Round(c*float64(fam.diam)*lnN)))
-			res := sim.Runner{Trials: trials, Seed: cfg.Seed + uint64(n)<<24 + uint64(c*1000)}.Run(func(trial int, stream *rng.Stream) sim.Metrics {
+			res := cfg.run(trials, cfg.Seed+uint64(n)<<24+uint64(c*1000), func(trial int, stream *rng.Stream) sim.Metrics {
 				lab := assign.Uniform(fam.g, n, r, stream)
 				net := temporal.MustNew(fam.g, n, lab)
 				ok := 0.0
@@ -129,7 +129,7 @@ func E7GeneralReachability(cfg Config) Result {
 			q = d
 		}
 		lambda := q / d
-		res := sim.Runner{Trials: ccTrials, Seed: cfg.Seed ^ 0xCC + uint64(d)}.Run(func(trial int, stream *rng.Stream) sim.Metrics {
+		res := cfg.run(ccTrials, cfg.Seed^0xCC+uint64(d), func(trial int, stream *rng.Stream) sim.Metrics {
 			covered := make([]bool, d)
 			remaining := d
 			draws := 0

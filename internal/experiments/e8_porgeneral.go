@@ -22,11 +22,14 @@ func E8PoRGeneral(cfg Config) Result {
 		"family", "n", "m", "d", "r(n) est", "thm7 r", "OPT in", "PoR in", "thm8 bound", "within bound",
 	)
 	for _, fam := range familiesFor(cfg) {
+		if cfg.cancelled() {
+			break
+		}
 		n := fam.g.N()
 		m := fam.g.M()
 		thm7 := core.TheoremSevenR(n, fam.diam)
 		rMax := 4 * thm7
-		r, ok := core.EstimateR(fam.g, n, core.WHPTarget(n), trials, cfg.Seed^0xE8+uint64(n)<<16, rMax)
+		r, ok := core.EstimateRCtx(cfg.ctx(), fam.g, n, core.WHPTarget(n), trials, cfg.Seed^0xE8+uint64(n)<<16, rMax)
 		rOut := table.I(r)
 		if !ok {
 			rOut = ">" + rOut

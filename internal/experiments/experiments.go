@@ -6,7 +6,10 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/rng"
+	"repro/internal/sim"
 	"repro/internal/table"
 	"repro/internal/temporal"
 )
@@ -19,6 +22,38 @@ type Config struct {
 	// Quick shrinks sizes and trial counts to bench/CI scale. Full runs
 	// (Quick=false) use the sizes reported in EXPERIMENTS.md.
 	Quick bool
+	// Ctx, when non-nil, cancels a driver mid-run: the Monte-Carlo
+	// harness stops claiming trials and drivers skip remaining phases, so
+	// the driver returns quickly with partial (discardable) output. Use
+	// the Run wrapper to get the cancellation surfaced as an error.
+	// Neither Ctx nor Progress affects the numbers of completed runs.
+	Ctx context.Context
+	// Progress, when non-nil, is called once per completed Monte-Carlo
+	// trial, from worker goroutines; it must be safe for concurrent use.
+	Progress func()
+}
+
+// run executes trials through the shared Monte-Carlo harness with the
+// Config's context and progress hook wired in. Per-trial seeds and
+// aggregation order are exactly those of sim.Runner.Run, so completed runs
+// are bit-identical with or without the plumbing.
+func (cfg Config) run(trials int, seed uint64, trial sim.Trial) *sim.Results {
+	res, _ := sim.Runner{Trials: trials, Seed: seed, OnTrial: cfg.Progress}.
+		RunContext(cfg.ctx(), trial)
+	return res
+}
+
+func (cfg Config) ctx() context.Context {
+	if cfg.Ctx != nil {
+		return cfg.Ctx
+	}
+	return context.Background()
+}
+
+// cancelled reports whether the Config's context is done; drivers whose
+// inner loops run outside the sim harness poll it between phases.
+func (cfg Config) cancelled() bool {
+	return cfg.Ctx != nil && cfg.Ctx.Err() != nil
 }
 
 // Result is a completed experiment: tables and ASCII figures.

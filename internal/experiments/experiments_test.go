@@ -43,6 +43,20 @@ func TestByID(t *testing.T) {
 	}
 }
 
+// TestByIDRoundTripsEveryEntry: ByID must return exactly the registry entry
+// for every registered id — the lookup the service's submit path depends on.
+func TestByIDRoundTripsEveryEntry(t *testing.T) {
+	for _, want := range All() {
+		got, ok := ByID(want.ID)
+		if !ok {
+			t.Fatalf("ByID(%s) not found", want.ID)
+		}
+		if got.ID != want.ID || got.Title != want.Title || got.Anchor != want.Anchor || got.Run == nil {
+			t.Fatalf("ByID(%s) returned a different entry: %+v", want.ID, got)
+		}
+	}
+}
+
 // TestEveryExperimentRunsQuick executes all drivers at quick scale and
 // checks they produce non-empty, well-formed output.
 func TestEveryExperimentRunsQuick(t *testing.T) {

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a thread-safe LRU mapping canonical request keys to completed
+// payloads. Capacity bounds entry count; storing beyond it evicts the least
+// recently used entry. It also counts hits and misses for the service's
+// stats endpoint.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key     string
+	payload *Payload
+}
+
+// NewCache returns an LRU cache holding at most capacity results;
+// capacity < 1 panics (a cacheless manager is configured with a manager
+// option, not a zero cache).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		panic("service: cache capacity must be >= 1")
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the payload cached under key, marking it most recently used.
+func (c *Cache) Get(key string) (*Payload, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).payload, true
+}
+
+// Put stores the payload under key, evicting the least recently used entry
+// when the cache is full. Storing an existing key refreshes its payload and
+// recency.
+func (c *Cache) Put(key string, p *Payload) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).payload = p
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, payload: p})
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Capacity returns the configured maximum entry count.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func payloadFor(id string) *Payload {
+	return NewPayload(experiments.Meta{ID: id}, experiments.Result{})
+}
+
+func TestCacheHitMissCounts(t *testing.T) {
+	c := NewCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", payloadFor("E1"))
+	if p, ok := c.Get("a"); !ok || p.Meta.ID != "E1" {
+		t.Fatal("miss after put")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", payloadFor("E1"))
+	c.Put("b", payloadFor("E2"))
+	c.Get("a")                   // refresh a: b becomes LRU
+	c.Put("c", payloadFor("E3")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, key := range []string{"a", "c"} {
+		if _, ok := c.Get(key); !ok {
+			t.Fatalf("%s should have survived", key)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", payloadFor("E1"))
+	c.Put("a", payloadFor("E1v2"))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if p, _ := c.Get("a"); p.Meta.ID != "E1v2" {
+		t.Fatalf("Put did not refresh payload: %s", p.Meta.ID)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(8)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16)
+				c.Put(key, payloadFor(key))
+				c.Get(key)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if c.Len() > 8 {
+		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+}
+
+func TestRequestCanonicalKey(t *testing.T) {
+	a := Request{Experiment: " e1 ", Seed: 2014, Quick: true}
+	b := Request{Experiment: "E1", Seed: 2014, Quick: true}
+	if a.Key() != b.Key() {
+		t.Fatalf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	c := Request{Experiment: "E1", Seed: 2015, Quick: true}
+	if a.Key() == c.Key() {
+		t.Fatal("different seeds share a key")
+	}
+	d := Request{Experiment: "E1", Seed: 2014, Quick: false}
+	if a.Key() == d.Key() {
+		t.Fatal("quick and full share a key")
+	}
+}

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/table"
+)
+
+// Payload is a completed experiment result plus its machine-readable
+// provenance — the unit the cache stores and the result endpoint renders.
+type Payload struct {
+	Meta    experiments.Meta `json:"meta"`
+	Tables  []*table.Table   `json:"tables"`
+	Figures []string         `json:"figures"`
+}
+
+// NewPayload bundles a driver result with its meta, normalizing nil slices
+// so every encoding is stable.
+func NewPayload(meta experiments.Meta, res experiments.Result) *Payload {
+	p := &Payload{Meta: meta, Tables: res.Tables, Figures: res.Figures}
+	if p.Tables == nil {
+		p.Tables = []*table.Table{}
+	}
+	if p.Figures == nil {
+		p.Figures = []string{}
+	}
+	return p
+}
+
+// JSON encodes the payload as one JSON document.
+func (p *Payload) JSON() ([]byte, error) { return json.Marshal(p) }
+
+// CSV concatenates the tables' CSV renderings, each preceded by a
+// "# <title>" comment line (the same framing cmd/experiments -format csv
+// prints). Figures have no CSV form and are omitted.
+func (p *Payload) CSV() string {
+	var b strings.Builder
+	for _, tb := range p.Tables {
+		fmt.Fprintf(&b, "# %s\n%s\n", tb.Title, tb.CSV())
+	}
+	return b.String()
+}
+
+// Markdown renders the meta header, every table and every figure (as code
+// blocks) as one Markdown document.
+func (p *Payload) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n*Paper anchor: %s. Seed %d, quick=%t, %d trials.*\n\n",
+		p.Meta.ID, p.Meta.Title, p.Meta.Anchor, p.Meta.Seed, p.Meta.Quick, p.Meta.Trials)
+	for _, tb := range p.Tables {
+		b.WriteString(tb.Markdown())
+		b.WriteByte('\n')
+	}
+	for _, fig := range p.Figures {
+		fmt.Fprintf(&b, "```\n%s```\n\n", fig)
+	}
+	return b.String()
+}
+
+// Encode renders the payload in the named format ("json", "csv" or "md"),
+// returning the bytes and the Content-Type to serve them under.
+func (p *Payload) Encode(format string) ([]byte, string, error) {
+	switch format {
+	case "", "json":
+		data, err := p.JSON()
+		return data, "application/json", err
+	case "csv":
+		return []byte(p.CSV()), "text/csv; charset=utf-8", nil
+	case "md", "markdown":
+		return []byte(p.Markdown()), "text/markdown; charset=utf-8", nil
+	default:
+		return nil, "", fmt.Errorf("unknown format %q (want json, csv or md)", format)
+	}
+}

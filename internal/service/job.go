@@ -1,0 +1,110 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a job's lifecycle position. Transitions are monotone:
+// queued → running → {done, failed, cancelled}, with queued → cancelled
+// and queued/running → done (from cache at submit) as shortcuts.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether no further transition can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one submitted experiment computation tracked by the Manager.
+type Job struct {
+	id  string
+	req Request
+
+	trials atomic.Int64 // completed Monte-Carlo trials, updated live
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	fromCache bool
+	payload   *Payload
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// ID returns the job's manager-assigned identifier.
+func (j *Job) ID() string { return j.id }
+
+// Request returns the canonical request the job runs.
+func (j *Job) Request() Request { return j.req }
+
+// State returns the job's current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Payload returns the result payload once the job is done; the bool is
+// false in every other state.
+func (j *Job) Payload() (*Payload, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, false
+	}
+	return j.payload, true
+}
+
+// View is the JSON rendering of a job's status.
+type View struct {
+	ID          string     `json:"id"`
+	Experiment  string     `json:"experiment"`
+	Seed        uint64     `json:"seed"`
+	Quick       bool       `json:"quick"`
+	State       State      `json:"state"`
+	Trials      int64      `json:"trials_completed"`
+	FromCache   bool       `json:"from_cache"`
+	Error       string     `json:"error,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// View snapshots the job for API responses.
+func (j *Job) View() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{
+		ID:          j.id,
+		Experiment:  j.req.Experiment,
+		Seed:        j.req.Seed,
+		Quick:       j.req.Quick,
+		State:       j.state,
+		Trials:      j.trials.Load(),
+		FromCache:   j.fromCache,
+		Error:       j.err,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	return v
+}

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// ExperimentInfo is the registry metadata served by GET /experiments.
+type ExperimentInfo struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	Anchor string `json:"anchor"`
+}
+
+// NewHandler exposes the manager as a JSON HTTP API:
+//
+//	GET    /healthz                    liveness probe
+//	GET    /stats                      Stats snapshot (cache hit rate, in-flight, …)
+//	GET    /experiments                registry metadata
+//	GET    /experiments/{id}           one registry entry
+//	POST   /jobs                       submit a Request; 200 on cache hit, 202 when queued
+//	GET    /jobs                       all jobs in submission order
+//	GET    /jobs/{id}                  job status with live trial progress
+//	GET    /jobs/{id}/result?format=F  completed result; F ∈ {json, csv, md}
+//	POST   /jobs/{id}/cancel           cancel a queued or running job
+//	DELETE /jobs/{id}                  alias for cancel
+//
+// Errors are {"error": "..."} with conventional status codes.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Stats())
+	})
+
+	mux.HandleFunc("GET /experiments", func(w http.ResponseWriter, r *http.Request) {
+		all := m.opts.List()
+		infos := make([]ExperimentInfo, len(all))
+		for i, e := range all {
+			infos[i] = ExperimentInfo{ID: e.ID, Title: e.Title, Anchor: e.Anchor}
+		}
+		writeJSON(w, http.StatusOK, infos)
+	})
+
+	mux.HandleFunc("GET /experiments/{id}", func(w http.ResponseWriter, r *http.Request) {
+		e, ok := m.opts.Lookup(Request{Experiment: r.PathValue("id")}.Canonical().Experiment)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "unknown experiment %q", r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, ExperimentInfo{ID: e.ID, Title: e.Title, Anchor: e.Anchor})
+	})
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		job, err := m.Submit(req)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrShuttingDown) {
+				status = http.StatusServiceUnavailable
+			}
+			writeErr(w, status, "%v", err)
+			return
+		}
+		status := http.StatusAccepted
+		if job.State() == StateDone {
+			status = http.StatusOK // served from cache
+		}
+		writeJSON(w, status, job.View())
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := m.Jobs()
+		views := make([]View, len(jobs))
+		for i, j := range jobs {
+			views[i] = j.View()
+		}
+		writeJSON(w, http.StatusOK, views)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, job.View())
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+			return
+		}
+		payload, ok := job.Payload()
+		if !ok {
+			writeErr(w, http.StatusConflict, "job %s is %s, result available only when done",
+				job.ID(), job.State())
+			return
+		}
+		data, contentType, err := payload.Encode(r.URL.Query().Get("format"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+	})
+
+	cancel := func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		job, ok := m.Get(id)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "no such job %q", id)
+			return
+		}
+		if err := m.Cancel(id); err != nil {
+			writeErr(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.View())
+	}
+	mux.HandleFunc("POST /jobs/{id}/cancel", cancel)
+	mux.HandleFunc("DELETE /jobs/{id}", cancel)
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,42 @@
+// Package service turns the experiment registry into a long-running,
+// concurrent, cache-backed system: a job manager running E1–E14 drivers on
+// a bounded worker pool (reusing internal/sim's determinism contract, so a
+// job's numbers depend only on its request), an LRU result cache keyed by
+// the canonicalized (experiment, Config) pair, and structured JSON/CSV/
+// Markdown encodings of results. server.go exposes it over HTTP; cmd/serve
+// is the binary.
+//
+// Because every driver is a pure function of (ID, Seed, Quick), identical
+// requests are served from cache without recomputation and cached payloads
+// are bit-identical to freshly computed ones.
+package service
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Request identifies one experiment computation. It is the cache key
+// domain: two requests with equal canonical forms always produce identical
+// results.
+type Request struct {
+	// Experiment is the registry id, e.g. "E1" (case-insensitive).
+	Experiment string `json:"experiment"`
+	// Seed is the Monte-Carlo base seed.
+	Seed uint64 `json:"seed"`
+	// Quick selects bench/CI scale instead of the full paper scale.
+	Quick bool `json:"quick"`
+}
+
+// Canonical returns the request with the experiment id trimmed and
+// upper-cased, so "e1 " and "E1" share a cache entry.
+func (r Request) Canonical() Request {
+	r.Experiment = strings.ToUpper(strings.TrimSpace(r.Experiment))
+	return r
+}
+
+// Key is the canonical cache key of the request.
+func (r Request) Key() string {
+	c := r.Canonical()
+	return fmt.Sprintf("%s|seed=%d|quick=%t", c.Experiment, c.Seed, c.Quick)
+}

@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -35,10 +36,29 @@ type Runner struct {
 	Seed uint64
 	// Workers bounds parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// OnTrial, when non-nil, is invoked once after each completed trial.
+	// It is called from worker goroutines and must be safe for concurrent
+	// use; it must not affect the trial's randomness.
+	OnTrial func()
 }
 
 // Run executes the trial function and aggregates its metrics.
 func (c Runner) Run(trial Trial) *Results {
+	res, _ := c.RunContext(context.Background(), trial)
+	return res
+}
+
+// RunContext is Run under a context: workers stop claiming new trials once
+// ctx is cancelled (trials already started run to completion) and the
+// context's error is returned. The Results aggregate completed trials only,
+// in trial order, so a run that finishes uncancelled is bit-identical to
+// Run for any worker count or cancellation plumbing.
+//
+// A panic inside a trial is caught on its worker goroutine, aborts the
+// remaining trials, and is re-raised on the calling goroutine — so callers
+// wrapping RunContext in recover really do contain trial bugs instead of
+// losing the process.
+func (c Runner) RunContext(ctx context.Context, trial Trial) (*Results, error) {
 	if c.Trials < 0 {
 		panic("sim: negative trial count")
 	}
@@ -49,28 +69,57 @@ func (c Runner) Run(trial Trial) *Results {
 	if workers > c.Trials {
 		workers = c.Trials
 	}
+	abort, cancelAbort := context.WithCancel(ctx)
+	defer cancelAbort()
 	perTrial := make([]Metrics, c.Trials)
+	completed := make([]bool, c.Trials)
+	var panicOnce sync.Once
+	var panicked any
 	var next int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for abort.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1) - 1)
 				if i >= c.Trials {
 					return
 				}
-				perTrial[i] = trial(i, rng.NewStream(c.Seed, uint64(i)))
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() { panicked = r })
+							cancelAbort()
+						}
+					}()
+					perTrial[i] = trial(i, rng.NewStream(c.Seed, uint64(i)))
+					completed[i] = true
+				}()
+				if completed[i] && c.OnTrial != nil {
+					c.OnTrial()
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 
 	// Aggregate after all workers finish, feeding each Sample in trial
 	// order, so results are bit-exact regardless of scheduling.
-	res := &Results{byName: make(map[string]*stats.Sample), trials: c.Trials}
-	for _, m := range perTrial {
+	trials := 0
+	for _, done := range completed {
+		if done {
+			trials++
+		}
+	}
+	res := &Results{byName: make(map[string]*stats.Sample), trials: trials}
+	for i, m := range perTrial {
+		if !completed[i] {
+			continue
+		}
 		for name := range m {
 			if res.byName[name] == nil {
 				res.byName[name] = &stats.Sample{}
@@ -78,13 +127,16 @@ func (c Runner) Run(trial Trial) *Results {
 		}
 	}
 	for name, s := range res.byName {
-		for _, m := range perTrial {
+		for i, m := range perTrial {
+			if !completed[i] {
+				continue
+			}
 			if v, ok := m[name]; ok {
 				s.Add(v)
 			}
 		}
 	}
-	return res
+	return res, ctx.Err()
 }
 
 // Results aggregates per-metric samples from a run.

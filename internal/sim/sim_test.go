@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"context"
 	"math"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -145,6 +147,105 @@ func TestEachTrialRunsExactlyOnce(t *testing.T) {
 			t.Fatalf("trial %d ran %d times", i, c)
 		}
 	}
+}
+
+// TestRunContextCompletedMatchesRun: a run that finishes uncancelled must be
+// bit-identical to Run — the determinism contract the experiment service
+// relies on for cache correctness.
+func TestRunContextCompletedMatchesRun(t *testing.T) {
+	trial := func(i int, r *rng.Stream) Metrics {
+		return Metrics{"v": r.Float64(), "w": float64(r.Intn(1000))}
+	}
+	base := Runner{Trials: 64, Seed: 42, Workers: 3}.Run(trial)
+	got, err := Runner{Trials: 64, Seed: 42, Workers: 7}.RunContext(context.Background(), trial)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if got.Trials() != base.Trials() {
+		t.Fatalf("Trials %d != %d", got.Trials(), base.Trials())
+	}
+	for _, name := range []string{"v", "w"} {
+		if got.Sample(name).Mean() != base.Sample(name).Mean() ||
+			got.Sample(name).Var() != base.Sample(name).Var() ||
+			got.Sample(name).Min() != base.Sample(name).Min() {
+			t.Fatalf("metric %s differs between Run and RunContext", name)
+		}
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := int32(0)
+	res, err := Runner{Trials: 50, Seed: 1}.RunContext(ctx, func(i int, _ *rng.Stream) Metrics {
+		atomic.AddInt32(&ran, 1)
+		return Metrics{"x": 1}
+	})
+	if err == nil {
+		t.Fatal("want context error")
+	}
+	if atomic.LoadInt32(&ran) != 0 || res.Trials() != 0 {
+		t.Fatalf("cancelled run executed %d trials, aggregated %d", ran, res.Trials())
+	}
+}
+
+// TestRunContextCancelMidRun cancels after the first trial starts and checks
+// workers stop claiming new trials while completed ones still aggregate.
+func TestRunContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		<-started
+		cancel()
+		close(release)
+	}()
+	res, err := Runner{Trials: 1000, Seed: 9, Workers: 2}.RunContext(ctx, func(i int, _ *rng.Stream) Metrics {
+		once.Do(func() { close(started) })
+		<-release
+		return Metrics{"x": 1}
+	})
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if res.Trials() == 0 || res.Trials() >= 1000 {
+		t.Fatalf("completed %d trials, want some but not all", res.Trials())
+	}
+	if got := res.Sample("x").N(); got != res.Trials() {
+		t.Fatalf("aggregated %d metrics across %d completed trials", got, res.Trials())
+	}
+}
+
+func TestOnTrialCountsCompletedTrials(t *testing.T) {
+	var n int32
+	Runner{Trials: 123, Seed: 4, Workers: 5, OnTrial: func() { atomic.AddInt32(&n, 1) }}.
+		Run(func(i int, _ *rng.Stream) Metrics { return Metrics{"x": 1} })
+	if n != 123 {
+		t.Fatalf("OnTrial fired %d times, want 123", n)
+	}
+}
+
+// TestTrialPanicReachesCaller: a panic inside a trial must surface on the
+// Run/RunContext caller's goroutine (where a recover can contain it), not
+// kill the process from a worker goroutine.
+func TestTrialPanicReachesCaller(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("trial panic did not reach the caller")
+		}
+		if s, ok := r.(string); !ok || s != "trial blew up" {
+			t.Fatalf("panic value mangled: %v", r)
+		}
+	}()
+	Runner{Trials: 100, Seed: 1, Workers: 4}.Run(func(i int, _ *rng.Stream) Metrics {
+		if i == 13 {
+			panic("trial blew up")
+		}
+		return Metrics{"x": 1}
+	})
 }
 
 func BenchmarkRunnerOverhead(b *testing.B) {

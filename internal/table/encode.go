@@ -1,0 +1,43 @@
+package table
+
+import "encoding/json"
+
+// tableJSON is the wire form of a Table: lowercase keys, slices always
+// present (never null) so clients can index without nil checks.
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes"`
+}
+
+// MarshalJSON encodes the table as
+//
+//	{"title": …, "columns": […], "rows": [[…]], "notes": […]}
+//
+// with every array non-null, making tables machine-readable alongside the
+// ASCII, CSV and Markdown renderings.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	w := tableJSON{Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes}
+	if w.Columns == nil {
+		w.Columns = []string{}
+	}
+	if w.Rows == nil {
+		w.Rows = [][]string{}
+	}
+	if w.Notes == nil {
+		w.Notes = []string{}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the MarshalJSON form, so cached results round-trip
+// through persistence layers.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var w tableJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	t.Title, t.Columns, t.Rows, t.Notes = w.Title, w.Columns, w.Rows, w.Notes
+	return nil
+}

@@ -1,6 +1,7 @@
 package table
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -156,4 +157,36 @@ func TestPlotSizePanics(t *testing.T) {
 		}
 	}()
 	Plot("", 2, 2)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tb := New("T1: demo", "a", "b")
+	tb.AddRow("1", "x,y")
+	tb.AddRow("2", "z")
+	tb.AddNote("note %d", 1)
+	data, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Table
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Title != tb.Title || len(got.Rows) != 2 || got.Rows[1][1] != "z" || len(got.Notes) != 1 {
+		t.Fatalf("round trip mangled table: %+v", got)
+	}
+}
+
+func TestJSONNeverNull(t *testing.T) {
+	tb := New("empty", "only")
+	data, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	s := string(data)
+	for _, frag := range []string{`"rows":[]`, `"notes":[]`, `"columns":["only"]`} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("JSON %s missing %s", s, frag)
+		}
+	}
 }
