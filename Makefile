@@ -1,0 +1,35 @@
+# Build / test / benchmark entry points. CI runs `make bench` to archive
+# the kernel benchmark trajectory as BENCH_kernels.json (see ci.yml).
+
+GO        ?= go
+BENCH     ?= BenchmarkKernel
+BENCHTIME ?= 1s
+
+.PHONY: all build test vet fmt bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# bench runs the kernel micro-benchmarks with allocation reporting and
+# converts the benchfmt output into BENCH_kernels.json for archival. The
+# test output is redirected (not piped through tee) so a benchmark failure
+# fails the target instead of being masked by the pipe's exit status.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -count 1 . > bench.txt || (cat bench.txt; exit 1)
+	cat bench.txt
+	$(GO) run ./cmd/benchjson < bench.txt > BENCH_kernels.json
+	@echo "wrote BENCH_kernels.json"
+
+clean:
+	rm -f bench.txt BENCH_kernels.json

@@ -67,10 +67,19 @@ func urtClique(n int, seed uint64) *temporal.Network {
 	return temporal.MustNew(g, n, lab)
 }
 
+// sparseGnp builds an undirected sparse G(n,p) instance with uniform
+// labels — the Hartmann–Mézard-style sparse regime (np ≈ 8).
+func sparseGnp(n int, seed uint64) *temporal.Network {
+	r := rng.New(seed)
+	g := graph.Gnp(n, 8/float64(n), false, r)
+	lab := assign.Uniform(g, n, 4, r)
+	return temporal.MustNew(g, n, lab)
+}
+
 func BenchmarkKernelEarliestArrival(b *testing.B) {
-	for _, n := range []int{256, 1024} {
-		b.Run("clique-"+strconv.Itoa(n), func(b *testing.B) {
-			net := urtClique(n, 1)
+	run := func(name string, net *temporal.Network) {
+		b.Run(name, func(b *testing.B) {
+			n := net.Graph().N()
 			arr := make([]int32, n)
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -80,6 +89,29 @@ func BenchmarkKernelEarliestArrival(b *testing.B) {
 			b.ReportMetric(float64(net.LabelCount()), "timeedges")
 		})
 	}
+	for _, n := range []int{256, 1024} {
+		run("clique-"+strconv.Itoa(n), urtClique(n, 1))
+	}
+	run("gnp-4096-sparse", sparseGnp(4096, 1))
+}
+
+// BenchmarkKernelEarliestArrivalLinear measures the pre-engine O(M) scan
+// (kept as the differential oracle) on the same instances, so the frontier
+// speedup is visible within one run.
+func BenchmarkKernelEarliestArrivalLinear(b *testing.B) {
+	run := func(name string, net *temporal.Network) {
+		b.Run(name, func(b *testing.B) {
+			n := net.Graph().N()
+			arr := make([]int32, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.EarliestArrivalsLinearInto(i%n, arr)
+			}
+		})
+	}
+	run("clique-1024", urtClique(1024, 1))
+	run("gnp-4096-sparse", sparseGnp(4096, 1))
 }
 
 func BenchmarkKernelTemporalDiameterExact(b *testing.B) {
@@ -100,6 +132,62 @@ func BenchmarkKernelTreach(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		temporal.SatisfiesTreachSerial(net, scratch)
 	}
+}
+
+// BenchmarkKernelTreachClique is the dense always-satisfied regime: no
+// early exit, every source sweeps, so the bit-parallel kernel's 64-way
+// sharing carries the whole n² work.
+func BenchmarkKernelTreachClique(b *testing.B) {
+	net := urtClique(256, 1)
+	scratch := temporal.NewTreachScratch(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		temporal.SatisfiesTreachSerial(net, scratch)
+	}
+}
+
+// BenchmarkKernelMultiSourceReach measures the bit-parallel word kernel
+// answering 64 sources in one pass.
+func BenchmarkKernelMultiSourceReach(b *testing.B) {
+	net := urtClique(1024, 1)
+	sources := make([]int, 64)
+	for i := range sources {
+		sources[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		temporal.ReachableSets(net, sources)
+	}
+}
+
+// BenchmarkKernelArrivalRegimes races the two single-source kernels across
+// the reachability regimes that drive the all-pairs kernel portfolio: the
+// frontier kernel wins whenever reachability is partial (the linear scan
+// cannot exit early), the linear kernel wins on fully-reachable
+// label-dense instances (its early exit stops at the completion prefix).
+func BenchmarkKernelArrivalRegimes(b *testing.B) {
+	run := func(name string, net *temporal.Network) {
+		n := net.Graph().N()
+		arr := make([]int32, n)
+		b.Run(name+"/frontier", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				net.EarliestArrivalsInto(i%n, arr)
+			}
+		})
+		b.Run(name+"/linear", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				net.EarliestArrivalsLinearInto(i%n, arr)
+			}
+		})
+	}
+	r := rng.New(1)
+	g := graph.Gnp(4096, 0.5/4096, true, r)
+	run("subcritical-gnp-4096", temporal.MustNew(g, 4096, assign.Uniform(g, 4096, 4, r)))
+	g = graph.Gnp(4096, 3.0/4096, true, r)
+	run("near-threshold-gnp-4096", temporal.MustNew(g, 4096, assign.Uniform(g, 4096, 2, r)))
+	run("clique-256", urtClique(256, 1))
 }
 
 func BenchmarkKernelExpansion(b *testing.B) {

@@ -1,0 +1,123 @@
+// Command benchjson converts `go test -bench` output (the Go benchmark
+// text format, benchfmt) read from stdin into a JSON document on stdout,
+// so CI can archive kernel benchmark results as a machine-readable
+// artifact and the performance trajectory can be diffed PR-over-PR.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkKernel -benchmem . | benchjson > BENCH_kernels.json
+//
+// Configuration lines (goos, goarch, pkg, cpu) become top-level fields;
+// each benchmark line becomes an entry with its name, GOMAXPROCS suffix,
+// iteration count and every reported metric keyed by unit (ns/op, B/op,
+// allocs/op and any b.ReportMetric unit).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix and
+	// GOMAXPROCS suffix, e.g. "KernelEarliestArrival/clique-256".
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran with.
+	Procs int `json:"procs"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value, e.g. "ns/op" → 195509.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole converted run.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// gomaxprocs is the GOMAXPROCS the benchmarks ran with. The testing
+// package appends "-N" to benchmark names only when GOMAXPROCS != 1, and
+// config sub-benchmark names like "clique-256" end in digits too, so the
+// suffix is stripped only when it equals this value. The default is right
+// when benchjson runs on the machine that ran the benchmarks (the make
+// bench pipeline); pass -procs otherwise.
+var gomaxprocs = flag.Int("procs", runtime.GOMAXPROCS(0), "GOMAXPROCS of the benchmark run")
+
+func main() {
+	flag.Parse()
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine parses one "BenchmarkName-P  N  v1 unit1  v2 unit2 ..." line.
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, fmt.Errorf("short benchmark line %q", line)
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 1
+	if i := strings.LastIndexByte(name, '-'); i >= 0 && *gomaxprocs != 1 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil && p == *gomaxprocs {
+			name, procs = name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bad iteration count in %q: %v", line, err)
+	}
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bad metric value in %q: %v", line, err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}

@@ -14,8 +14,14 @@
 // Layout:
 //
 //	internal/graph       static (di)graphs: CSR, generators, BFS/SCC/diameter
-//	internal/temporal    temporal networks: labels, journeys, foremost arrival,
-//	                     reachability, temporal diameter
+//	internal/temporal    temporal networks: labels, journeys, and the
+//	                     earliest-arrival engine — a frontier (bucket-queue)
+//	                     kernel over a per-vertex time-edge index, a
+//	                     bit-parallel 64-sources-per-word reachability
+//	                     kernel, a sync.Pool scratch layer for zero-alloc
+//	                     all-pairs sweeps (diameter, Treach), and the
+//	                     linear-scan oracle they are differentially
+//	                     tested against
 //	internal/assign      label assigners: UNI-CASE/F-CASE random, box labelings,
 //	                     star optima, double-tour OPT witnesses
 //	internal/core        the paper's contributions (Algorithm 1, §3.5 spreading,

@@ -42,6 +42,23 @@ type CoveragePoint struct {
 	Informed int
 }
 
+// SpreadReach is the reachability-only fast path of Spread for callers
+// that need coverage but not the transmission audit or the timeline: it
+// answers from the temporal engine's frontier kernel in O(reached time
+// edges) instead of replaying all M time edges, and allocates only the
+// returned arrival vector. InformedAt, Informed and CompletionTime match
+// the corresponding Spread fields exactly.
+func SpreadReach(net *temporal.Network, source int) (informedAt []int32, informed int, completion int32) {
+	informedAt = make([]int32, net.Graph().N())
+	informed = net.EarliestArrivalsInto(source, informedAt)
+	for _, a := range informedAt {
+		if a != temporal.Unreachable && a > completion {
+			completion = a
+		}
+	}
+	return informedAt, informed, completion
+}
+
 // Spread simulates the flooding protocol event-by-event (time edges in
 // label order). Because the protocol forwards greedily, InformedAt equals
 // the earliest-arrival vector; the event-driven run additionally counts

@@ -174,6 +174,34 @@ func TestQuickSpreadMatchesEarliestArrival(t *testing.T) {
 	}
 }
 
+// Property: the SpreadReach fast path agrees with the full event-driven
+// Spread on every field it reports.
+func TestQuickSpreadReachMatchesSpread(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, directed bool) bool {
+		r := rng.New(seed)
+		n := int(nRaw)%20 + 2
+		g := graph.Gnp(n, 0.3, directed, r)
+		lifetime := n + 3
+		lab := assign.Uniform(g, lifetime, 1, r)
+		net := temporal.MustNew(g, lifetime, lab)
+		s := int(seed % uint64(n))
+		full := Spread(net, s)
+		informedAt, informed, completion := SpreadReach(net, s)
+		if informed != full.Informed || completion != full.CompletionTime {
+			return false
+		}
+		for v := range informedAt {
+			if informedAt[v] != full.InformedAt[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: transmissions ≥ useful transmissions = informed−1, and every
 // time edge can fire at most twice (once per direction).
 func TestQuickSpreadTransmissionBounds(t *testing.T) {

@@ -119,31 +119,5 @@ func serialDiameter(net *temporal.Network, maxSources int, r *rng.Stream) tempor
 	} else {
 		sources = r.Sample(n, maxSources)
 	}
-	res := temporal.DiameterResult{AllReachable: true}
-	arr := make([]int32, n)
-	var sum int64
-	var finite int64
-	for _, s := range sources {
-		net.EarliestArrivalsInto(s, arr)
-		for v := 0; v < n; v++ {
-			if v == s {
-				continue
-			}
-			res.Pairs++
-			a := arr[v]
-			if a == temporal.Unreachable {
-				res.AllReachable = false
-				continue
-			}
-			finite++
-			sum += int64(a)
-			if a > res.Max {
-				res.Max = a
-			}
-		}
-	}
-	if finite > 0 {
-		res.MeanFinite = float64(sum) / float64(finite)
-	}
-	return res
+	return temporal.DiameterFromSerial(net, sources)
 }

@@ -15,7 +15,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Graph is an immutable simple (di)graph in CSR form. Build one with a
@@ -136,25 +136,29 @@ func (g *Graph) buildCSR() {
 	}
 }
 
-// sortAdj sorts every vertex's adjacency slice by neighbor id so HasEdge can
-// binary-search.
+// sortAdj sorts every vertex's adjacency slice by neighbor id so HasEdge
+// can binary-search. The parallel (neighbor, edge) pairs are packed into
+// one uint64 each so the alloc-free slices.Sort applies; the shared buffer
+// makes the whole pass a single allocation.
 func (g *Graph) sortAdj(off, adjTo, adjEdge []int32) {
+	var buf []uint64
 	for u := 0; u < g.n; u++ {
 		lo, hi := off[u], off[u+1]
-		seg := adjSeg{to: adjTo[lo:hi], edge: adjEdge[lo:hi]}
-		sort.Sort(seg)
+		seg := adjTo[lo:hi]
+		if len(seg) < 2 || slices.IsSorted(seg) {
+			continue
+		}
+		eseg := adjEdge[lo:hi]
+		buf = buf[:0]
+		for i := range seg {
+			buf = append(buf, uint64(uint32(seg[i]))<<32|uint64(uint32(eseg[i])))
+		}
+		slices.Sort(buf)
+		for i, p := range buf {
+			seg[i] = int32(p >> 32)
+			eseg[i] = int32(uint32(p))
+		}
 	}
-}
-
-type adjSeg struct {
-	to, edge []int32
-}
-
-func (s adjSeg) Len() int           { return len(s.to) }
-func (s adjSeg) Less(i, j int) bool { return s.to[i] < s.to[j] }
-func (s adjSeg) Swap(i, j int) {
-	s.to[i], s.to[j] = s.to[j], s.to[i]
-	s.edge[i], s.edge[j] = s.edge[j], s.edge[i]
 }
 
 // N returns the number of vertices.
@@ -229,8 +233,7 @@ func (g *Graph) EdgeBetween(u, v int) (int, bool) {
 		return -1, false
 	}
 	adj := g.OutNeighbors(u)
-	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= int32(v) })
-	if i < len(adj) && adj[i] == int32(v) {
+	if i, ok := slices.BinarySearch(adj, int32(v)); ok {
 		return int(g.OutEdges(u)[i]), true
 	}
 	return -1, false

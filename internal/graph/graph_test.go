@@ -1,7 +1,7 @@
 package graph
 
 import (
-	"sort"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -229,7 +229,7 @@ func TestQuickCSRConsistency(t *testing.T) {
 		inAdj := make(map[key]int)
 		for u := 0; u < n; u++ {
 			adj := g.OutNeighbors(u)
-			if !sort.SliceIsSorted(adj, func(i, j int) bool { return adj[i] < adj[j] }) {
+			if !slices.IsSorted(adj) {
 				return false
 			}
 			for _, v := range adj {
@@ -277,7 +277,7 @@ func TestQuickReverseCSR(t *testing.T) {
 				got = append(got, int(u))
 			}
 			want := wantIn[v]
-			sort.Ints(want)
+			slices.Sort(want)
 			if len(got) != len(want) {
 				return false
 			}

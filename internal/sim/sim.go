@@ -11,7 +11,7 @@ package sim
 import (
 	"context"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -160,7 +160,7 @@ func (r *Results) Names() []string {
 	for n := range r.byName {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	return names
 }
 

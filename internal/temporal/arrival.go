@@ -1,15 +1,8 @@
 package temporal
 
-// This file contains the foremost-journey kernel: single-source earliest
-// arrival times in one linear pass over the time-edge list, which is
-// bucket-sorted by label at network construction.
-//
-// Correctness of the single pass: processing time edges in non-decreasing
-// label order, when the scan reaches label l every arrival time < l is
-// final, so the relaxation "arr[u] < l ⇒ arr[v] ← min(arr[v], l)" applies
-// exactly the strictly-increasing-label rule (a message that reached u at
-// time l cannot leave u at time l). Ties within the same label cannot chain
-// in a single pass precisely because the comparison is strict.
+// Single-source earliest-arrival entry points. The production path is the
+// frontier kernel (engine.go); the original linear-scan kernel is kept
+// below as a differential-testing oracle next to earliestArrivalsFixpoint.
 
 // EarliestArrivals returns δ(s,·): the earliest arrival time from s to each
 // vertex, with arr[s] = 0 and Unreachable for vertices no journey reaches.
@@ -23,13 +16,40 @@ func (n *Network) EarliestArrivals(s int) []int32 {
 // EarliestArrivals: arr must have length N() and is overwritten. It returns
 // the number of reached vertices, counting s itself.
 func (n *Network) EarliestArrivalsInto(s int, arr []int32) int {
+	sc := getScratch()
+	reached, _ := n.earliestArrivalsFrontier(s, 1, arr, nil, sc)
+	putScratch(sc)
+	return reached
+}
+
+// EarliestArrivalsLinearInto computes the same arrival vector with the
+// original single-pass kernel: one scan of the label-sorted time-edge list
+// applying "arr[u] < l ⇒ arr[v] ← min(arr[v], l)". Processing labels in
+// non-decreasing order makes every arrival < l final when the scan reaches
+// l, so the strict comparison applies exactly the increasing-label rule,
+// and the scan may stop as soon as every vertex is reached (a set arrival
+// can never improve). It serves as the differential-testing oracle for the
+// frontier kernel and as the fast branch of the all-pairs kernel race: on
+// fully-reachable label-dense instances its early exit beats the frontier,
+// but with partial reachability it always pays the full O(M) scan.
+func (n *Network) EarliestArrivalsLinearInto(s int, arr []int32) int {
+	reached, _ := n.earliestArrivalsLinear(s, arr)
+	return reached
+}
+
+// earliestArrivalsLinear is EarliestArrivalsLinearInto returning also the
+// work done (time edges visited plus the n-sized init), the linear side of
+// the all-pairs kernel race.
+func (n *Network) earliestArrivalsLinear(s int, arr []int32) (reachedCount, work int) {
 	for i := range arr {
 		arr[i] = Unreachable
 	}
 	arr[s] = 0
+	nv := len(arr)
 	reached := 1
 	directed := n.g.Directed()
 	from, to := n.edgeEndpointArrays()
+	visited := len(n.teEdge)
 	for i, e := range n.teEdge {
 		l := n.teLabel[i]
 		u, v := from[e], to[e]
@@ -44,8 +64,12 @@ func (n *Network) EarliestArrivalsInto(s int, arr []int32) int {
 			}
 			arr[u] = l
 		}
+		if reached == nv {
+			visited = i + 1
+			break
+		}
 	}
-	return reached
+	return reached, nv + visited
 }
 
 // edgeEndpointArrays exposes the graph's parallel from/to arrays through a
@@ -58,50 +82,37 @@ func (n *Network) edgeEndpointArrays() (from, to []int32) {
 // equals δ(s,t) — or ok=false when t is unreachable from s. For s == t it
 // returns the empty journey.
 func (n *Network) ForemostJourney(s, t int) (Journey, bool) {
+	return n.foremostRestricted(s, t, 1)
+}
+
+// foremostRestricted is ForemostJourney over journeys departing no earlier
+// than start: one frontier pass with predecessor recording, then a
+// backwards trace over the recorded time edges. FastestJourney reuses it
+// for the winning departure window.
+func (n *Network) foremostRestricted(s, t int, start int32) (Journey, bool) {
 	if s == t {
 		return Journey{}, true
 	}
+	sc := getScratch()
+	defer putScratch(sc)
 	nv := n.g.N()
-	arr := make([]int32, nv)
-	for i := range arr {
-		arr[i] = Unreachable
-	}
-	arr[s] = 0
-	// predTE[v] is the index of the time edge that first reached v.
-	predTE := make([]int32, nv)
-	for i := range predTE {
-		predTE[i] = -1
-	}
-	directed := n.g.Directed()
-	from, to := n.edgeEndpointArrays()
-	for i, e := range n.teEdge {
-		l := n.teLabel[i]
-		u, v := from[e], to[e]
-		if arr[u] < l && l < arr[v] {
-			arr[v] = l
-			predTE[v] = int32(i)
-		} else if !directed && arr[v] < l && l < arr[u] {
-			arr[u] = l
-			predTE[u] = int32(i)
-		}
-	}
+	arr := sc.arrival(nv)
+	pred := sc.predecessors(nv)
+	n.earliestArrivalsFrontier(s, start, arr, pred, sc)
 	if arr[t] == Unreachable {
 		return nil, false
 	}
-	// Trace hops backwards from t.
 	var rev Journey
-	cur := int32(t)
-	for cur != int32(s) {
-		ti := predTE[cur]
-		e := n.teEdge[ti]
-		l := n.teLabel[ti]
-		u, v := from[e], to[e]
-		hopFrom := u
-		if v != cur { // undirected edge traversed against storage order
-			hopFrom = v
-		}
-		rev = append(rev, Hop{From: int(hopFrom), To: int(cur), Edge: int(e), Label: l})
-		cur = hopFrom
+	for cur := int32(t); cur != int32(s); {
+		pi := pred[cur]
+		u := n.vteOwner(pi)
+		rev = append(rev, Hop{
+			From:  int(u),
+			To:    int(cur),
+			Edge:  int(n.vteEdge[pi]),
+			Label: n.vteLabelAt(pi),
+		})
+		cur = u
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
@@ -112,7 +123,7 @@ func (n *Network) ForemostJourney(s, t int) (Journey, bool) {
 // earliestArrivalsFixpoint is an independent O(rounds·M) reference
 // implementation used by tests: Bellman–Ford-style relaxation of all time
 // edges (in arbitrary order) until no arrival time improves. It must agree
-// with the single-pass kernel on every network.
+// with the production kernels on every network.
 func (n *Network) earliestArrivalsFixpoint(s int) []int32 {
 	nv := n.g.N()
 	arr := make([]int32, nv)
@@ -124,7 +135,7 @@ func (n *Network) earliestArrivalsFixpoint(s int) []int32 {
 	for {
 		changed := false
 		// Deliberately iterate edges in id order (not label order) so the
-		// reference differs structurally from the production kernel.
+		// reference differs structurally from the production kernels.
 		for e := 0; e < n.g.M(); e++ {
 			u, v := n.g.Endpoints(e)
 			for _, l := range n.EdgeLabels(e) {

@@ -11,15 +11,31 @@
 // label. The temporal distance δ(u,v) is the minimum arrival time over all
 // (u,v)-journeys.
 //
-// The hot kernel is the single-source earliest-arrival scan: time edges are
-// bucket-sorted by label once at network construction, and one linear pass
-// ("arr[u] < l ⇒ arr[v] = min(arr[v], l)") computes δ(s,·) in O(M) where M
-// is the total number of labels. All-pairs computations parallelize across
-// sources with per-worker scratch.
+// The hot path is the earliest-arrival engine (engine.go, msreach.go). At
+// construction the network builds two indexes over its M time edges (an
+// (edge, label) pair is one time edge): the global list bucket-sorted by
+// label, and a per-vertex CSR of outgoing time edges sorted by label. Three
+// kernels run on those indexes:
+//
+//   - the frontier kernel: a Dial-style bucket queue settles vertices in
+//     arrival order and relaxes only the time edges leaving settled
+//     vertices with labels above their arrival, so a single-source query
+//     costs O(n + reached time edges) rather than O(M), with early
+//     termination once every vertex is settled or the queue drains;
+//   - the bit-parallel kernel: 64 sources share one pass over the
+//     label-sorted time-edge list, one uint64 of source bits per vertex,
+//     answering all-pairs reachability questions (Treach, violation
+//     counts) in ⌈n/64⌉ passes instead of n;
+//   - the linear kernel (EarliestArrivalsLinearInto): the original
+//     single-pass scan, kept as the differential-testing oracle.
+//
+// All public entry points draw their work arrays from a sync.Pool-backed
+// scratch layer, so steady-state queries allocate nothing.
 package temporal
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/graph"
@@ -69,6 +85,23 @@ type Network struct {
 	// label teLabel[i]), with teLabel non-decreasing.
 	teEdge  []int32
 	teLabel []int32
+
+	// distinct holds the sorted distinct labels in use. The frontier
+	// kernel's bucket queue is indexed by rank in this array, so its time
+	// and scratch memory scale with the number of distinct labels (≤ M)
+	// rather than with the lifetime, which callers may set enormous.
+	distinct []int32
+
+	// Per-vertex CSR of outgoing time edges, sorted by label within each
+	// vertex: entry i in [vteOff[u], vteOff[u+1]) says u can leave to
+	// vertex uint32(vtePacked[i]) at time distinct[vtePacked[i]>>32],
+	// over edge vteEdge[i]. Undirected edges appear once per endpoint.
+	// Packing (label rank, to) into one word keeps the frontier kernel's
+	// suffix scans on a single sequential stream; vteEdge is touched only
+	// by journey reconstruction.
+	vteOff    []int32
+	vtePacked []uint64
+	vteEdge   []int32
 }
 
 // New assembles a temporal network from a graph and a labeling. It verifies
@@ -98,6 +131,7 @@ func New(g *graph.Graph, lifetime int, lab Labeling) (*Network, error) {
 	n := &Network{g: g, lifetime: int32(lifetime), off: lab.Off, labels: lab.Labels}
 	n.sortPerEdge()
 	n.buildTimeEdges()
+	n.buildVertexTimeEdges()
 	return n, nil
 }
 
@@ -114,19 +148,10 @@ func MustNew(g *graph.Graph, lifetime int, lab Labeling) *Network {
 func (n *Network) sortPerEdge() {
 	for e := 0; e < n.g.M(); e++ {
 		seg := n.labels[n.off[e]:n.off[e+1]]
-		if len(seg) > 1 && !int32sSorted(seg) {
-			sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+		if len(seg) > 1 && !slices.IsSorted(seg) {
+			slices.Sort(seg)
 		}
 	}
-}
-
-func int32sSorted(s []int32) bool {
-	for i := 1; i < len(s); i++ {
-		if s[i] < s[i-1] {
-			return false
-		}
-	}
-	return true
 }
 
 // buildTimeEdges counting-sorts all (edge, label) pairs by label.
@@ -150,6 +175,83 @@ func (n *Network) buildTimeEdges() {
 			n.teLabel[p] = l
 		}
 	}
+}
+
+// buildVertexTimeEdges builds the per-vertex time-edge CSR. Filling it by a
+// scan of the already label-sorted global list leaves every vertex's
+// segment sorted by label with no further sorting.
+func (n *Network) buildVertexTimeEdges() {
+	nv := n.g.N()
+	directed := n.g.Directed()
+	size := len(n.labels)
+	if !directed {
+		size *= 2
+	}
+	from, to := n.g.FromArray(), n.g.ToArray()
+	off := make([]int32, nv+1)
+	for e := 0; e < n.g.M(); e++ {
+		c := n.off[e+1] - n.off[e]
+		off[from[e]+1] += c
+		if !directed {
+			off[to[e]+1] += c
+		}
+	}
+	for i := 0; i < nv; i++ {
+		off[i+1] += off[i]
+	}
+	packed := make([]uint64, size)
+	eid := make([]int32, size)
+	pos := make([]int32, nv)
+	copy(pos, off[:nv])
+	// The global list is label-sorted, so distinct labels and their ranks
+	// fall out of one scan.
+	var distinct []int32
+	rank := uint64(0)
+	for i, e := range n.teEdge {
+		l := n.teLabel[i]
+		if len(distinct) == 0 || l != distinct[len(distinct)-1] {
+			distinct = append(distinct, l)
+			rank = uint64(len(distinct) - 1)
+		}
+		u, v := from[e], to[e]
+		p := pos[u]
+		packed[p], eid[p] = rank<<32|uint64(uint32(v)), e
+		pos[u] = p + 1
+		if !directed {
+			p = pos[v]
+			packed[p], eid[p] = rank<<32|uint64(uint32(u)), e
+			pos[v] = p + 1
+		}
+	}
+	n.distinct = distinct
+	n.vteOff, n.vtePacked, n.vteEdge = off, packed, eid
+}
+
+// labelRankAbove returns the rank of the smallest distinct label > t, or
+// len(distinct) when none exists.
+func (n *Network) labelRankAbove(t int32) int {
+	r, _ := slices.BinarySearch(n.distinct, t+1)
+	return r
+}
+
+// vteLabelAt and vteToAt unpack one vertex-CSR time edge.
+func (n *Network) vteLabelAt(idx int32) int32 { return n.distinct[n.vtePacked[idx]>>32] }
+func (n *Network) vteToAt(idx int32) int32    { return int32(uint32(n.vtePacked[idx])) }
+
+// vteOwner returns the vertex whose outgoing time-edge segment contains
+// index idx — the tail vertex of that time edge. Journey reconstruction
+// uses it to walk predecessor indexes back to the source.
+func (n *Network) vteOwner(idx int32) int32 {
+	lo, hi := int32(0), int32(n.g.N())
+	for lo+1 < hi {
+		mid := (lo + hi) >> 1
+		if n.vteOff[mid] <= idx {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Graph returns the underlying static graph.

@@ -4,30 +4,34 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-
-	"repro/internal/graph"
 )
 
 // ReachedCount returns how many vertices (including s) are reachable from s
 // by a journey.
 func (n *Network) ReachedCount(s int) int {
-	arr := make([]int32, n.g.N())
-	return n.EarliestArrivalsInto(s, arr)
+	sc := getScratch()
+	reached, _ := n.earliestArrivalsFrontier(s, 1, sc.arrival(n.g.N()), nil, sc)
+	putScratch(sc)
+	return reached
 }
 
 // Treach is the reachability-preservation property of Definition 6: for
 // every ordered pair (u,v), a static u→v path exists if and only if a
-// (u,v)-journey exists. SatisfiesTreach evaluates it over all sources in
-// parallel, returning early on the first violated source.
+// (u,v)-journey exists. SatisfiesTreach evaluates it with the bit-parallel
+// kernel — ⌈n/64⌉ word passes instead of n scalar ones — parallelizing
+// across batches and returning early on the first violated batch.
 func SatisfiesTreach(n *Network) bool {
-	g := n.g
-	nv := g.N()
+	nv := n.g.N()
 	if nv == 0 {
 		return true
 	}
+	nb := (nv + batchSize - 1) / batchSize
 	workers := runtime.GOMAXPROCS(0)
-	if workers > nv {
-		workers = nv
+	if workers > nb {
+		workers = nb
+	}
+	if workers <= 1 {
+		return SatisfiesTreachSerial(n, nil)
 	}
 	var next int64
 	var failed atomic.Bool
@@ -36,17 +40,19 @@ func SatisfiesTreach(n *Network) bool {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			arr := make([]int32, nv)
-			dist := make([]int32, nv)
-			queue := make([]int32, 0, nv)
+			sc := reachPool.Get().(*reachScratch)
+			defer reachPool.Put(sc)
 			for !failed.Load() {
-				s := int(atomic.AddInt64(&next, 1) - 1)
-				if s >= nv {
+				b := int(atomic.AddInt64(&next, 1) - 1)
+				if b >= nb {
 					return
 				}
-				staticReach := graph.BFSInto(g, s, dist, queue)
-				tempReach := n.EarliestArrivalsInto(s, arr)
-				if tempReach < staticReach {
+				lo := b * batchSize
+				hi := lo + batchSize
+				if hi > nv {
+					hi = nv
+				}
+				if n.treachBatch(sc.batch(lo, hi), sc, false) != 0 {
 					failed.Store(true)
 					return
 				}
@@ -59,54 +65,64 @@ func SatisfiesTreach(n *Network) bool {
 
 // SatisfiesTreachSerial is SatisfiesTreach without internal parallelism.
 // Monte-Carlo trials that already run on a worker pool use it to avoid
-// nested goroutine fan-out; scratch may be nil or a *TreachScratch reused
-// across calls.
+// nested goroutine fan-out; scratch may be nil (pooled scratch is used) or
+// a *TreachScratch reused across calls.
 func SatisfiesTreachSerial(n *Network, scratch *TreachScratch) bool {
-	g := n.g
-	nv := g.N()
+	nv := n.g.N()
 	if nv == 0 {
 		return true
 	}
-	if scratch == nil || len(scratch.arr) < nv {
-		scratch = NewTreachScratch(nv)
+	sc := scratch.reach()
+	if scratch == nil {
+		defer reachPool.Put(sc)
 	}
-	for s := 0; s < nv; s++ {
-		staticReach := graph.BFSInto(g, s, scratch.dist[:nv], scratch.queue)
-		tempReach := n.EarliestArrivalsInto(s, scratch.arr[:nv])
-		if tempReach < staticReach {
+	for lo := 0; lo < nv; lo += batchSize {
+		hi := lo + batchSize
+		if hi > nv {
+			hi = nv
+		}
+		if n.treachBatch(sc.batch(lo, hi), sc, false) != 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// TreachScratch holds the per-source work arrays for
+// TreachScratch holds the per-batch work arrays for
 // SatisfiesTreachSerial.
 type TreachScratch struct {
-	arr, dist, queue []int32
+	rs reachScratch
 }
 
 // NewTreachScratch allocates scratch for graphs of up to n vertices.
 func NewTreachScratch(n int) *TreachScratch {
-	return &TreachScratch{
-		arr:   make([]int32, n),
-		dist:  make([]int32, n),
-		queue: make([]int32, 0, n),
+	s := &TreachScratch{}
+	s.rs.ensure(n)
+	return s
+}
+
+// reach returns the wrapped word scratch, drawing a pooled one for a nil
+// receiver (the caller returns that one to the pool).
+func (s *TreachScratch) reach() *reachScratch {
+	if s == nil {
+		return reachPool.Get().(*reachScratch)
 	}
+	return &s.rs
 }
 
 // TreachViolations counts the ordered pairs (u,v) that have a static path
 // but no journey — the "damage" a labeling leaves. It is the quantitative
-// companion to SatisfiesTreach for experiment tables.
+// companion to SatisfiesTreach for experiment tables, and runs on the same
+// bit-parallel batches.
 func TreachViolations(n *Network) int {
-	g := n.g
-	nv := g.N()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > nv {
-		workers = nv
-	}
-	if workers == 0 {
+	nv := n.g.N()
+	if nv == 0 {
 		return 0
+	}
+	nb := (nv + batchSize - 1) / batchSize
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nb {
+		workers = nb
 	}
 	var next int64
 	var total int64
@@ -115,22 +131,20 @@ func TreachViolations(n *Network) int {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			arr := make([]int32, nv)
-			dist := make([]int32, nv)
-			queue := make([]int32, 0, nv)
+			sc := reachPool.Get().(*reachScratch)
+			defer reachPool.Put(sc)
 			local := 0
 			for {
-				s := int(atomic.AddInt64(&next, 1) - 1)
-				if s >= nv {
+				b := int(atomic.AddInt64(&next, 1) - 1)
+				if b >= nb {
 					break
 				}
-				graph.BFSInto(g, s, dist, queue)
-				n.EarliestArrivalsInto(s, arr)
-				for v := 0; v < nv; v++ {
-					if dist[v] >= 0 && arr[v] == Unreachable {
-						local++
-					}
+				lo := b * batchSize
+				hi := lo + batchSize
+				if hi > nv {
+					hi = nv
 				}
+				local += n.treachBatch(sc.batch(lo, hi), sc, true)
 			}
 			atomic.AddInt64(&total, int64(local))
 		}()
@@ -153,6 +167,51 @@ type DiameterResult struct {
 	MeanFinite float64
 	// Pairs is the number of ordered pairs evaluated (excluding s == t).
 	Pairs int64
+}
+
+// diamAccum accumulates per-source arrival vectors into a DiameterResult.
+type diamAccum struct {
+	max       int32
+	reachable bool
+	sum       int64
+	finite    int64
+	pairs     int64
+}
+
+func (p *diamAccum) add(s int, arr []int32) {
+	for v, a := range arr {
+		if v == s {
+			continue
+		}
+		p.pairs++
+		if a == Unreachable {
+			p.reachable = false
+			continue
+		}
+		p.finite++
+		p.sum += int64(a)
+		if a > p.max {
+			p.max = a
+		}
+	}
+}
+
+func (p *diamAccum) merge(q diamAccum) {
+	if q.max > p.max {
+		p.max = q.max
+	}
+	p.reachable = p.reachable && q.reachable
+	p.sum += q.sum
+	p.finite += q.finite
+	p.pairs += q.pairs
+}
+
+func (p *diamAccum) result() DiameterResult {
+	res := DiameterResult{Max: p.max, AllReachable: p.reachable, Pairs: p.pairs}
+	if p.finite > 0 {
+		res.MeanFinite = float64(p.sum) / float64(p.finite)
+	}
+	return res
 }
 
 // Diameter computes max_{s,t} δ(s,t) exactly, running the earliest-arrival
@@ -178,69 +237,92 @@ func DiameterFrom(n *Network, sources []int) DiameterResult {
 	if workers > len(sources) {
 		workers = len(sources)
 	}
-	type partial struct {
-		max       int32
-		reachable bool
-		sum       int64
-		finite    int64
-		pairs     int64
+	if workers <= 1 {
+		return DiameterFromSerial(n, sources)
 	}
-	results := make(chan partial, workers)
+	agg := diamAccum{reachable: true}
+	useLinear, probed := n.raceKernels(sources[0], &agg)
+	rest := sources[probed:]
+	results := make(chan diamAccum, workers)
 	var next int64
 	for w := 0; w < workers; w++ {
 		go func() {
-			arr := make([]int32, nv)
-			p := partial{reachable: true}
+			sc := getScratch()
+			defer putScratch(sc)
+			arr := sc.arrival(nv)
+			p := diamAccum{reachable: true}
 			for {
 				i := int(atomic.AddInt64(&next, 1) - 1)
-				if i >= len(sources) {
+				if i >= len(rest) {
 					break
 				}
-				s := sources[i]
-				n.EarliestArrivalsInto(s, arr)
-				for v := 0; v < nv; v++ {
-					if v == s {
-						continue
-					}
-					p.pairs++
-					a := arr[v]
-					if a == Unreachable {
-						p.reachable = false
-						continue
-					}
-					p.finite++
-					p.sum += int64(a)
-					if a > p.max {
-						p.max = a
-					}
+				s := rest[i]
+				if useLinear {
+					n.earliestArrivalsLinear(s, arr)
+				} else {
+					n.earliestArrivalsFrontier(s, 1, arr, nil, sc)
 				}
+				p.add(s, arr)
 			}
 			results <- p
 		}()
 	}
-	var agg partial
-	agg.reachable = true
 	for w := 0; w < workers; w++ {
-		p := <-results
-		if p.max > agg.max {
-			agg.max = p.max
+		agg.merge(<-results)
+	}
+	return agg.result()
+}
+
+// raceKernels runs the first source through both earliest-arrival kernels,
+// folds its (identical) arrival vector into agg once, and reports whether
+// the linear kernel's measured work beat the frontier's — the portfolio
+// choice the remaining sources commit to. The kernels favor complementary
+// regimes (linear: fully-reachable label-dense instances with early exit;
+// frontier: everything else), per-source work varies little within one
+// instance, and both are exact, so one probe settles the sweep cheaply.
+// It returns how many leading sources were consumed.
+func (n *Network) raceKernels(s0 int, agg *diamAccum) (useLinear bool, probed int) {
+	sc := getScratch()
+	defer putScratch(sc)
+	arr := sc.arrival(n.g.N())
+	_, frontierWork := n.earliestArrivalsFrontier(s0, 1, arr, nil, sc)
+	_, linearWork := n.earliestArrivalsLinear(s0, arr)
+	agg.add(s0, arr)
+	return linearWork < frontierWork, 1
+}
+
+// DiameterFromSerial is DiameterFrom without internal parallelism — the
+// right shape inside already-parallel Monte-Carlo trials. It draws its
+// work arrays from the pooled scratch layer and allocates nothing in
+// steady state.
+func DiameterFromSerial(n *Network, sources []int) DiameterResult {
+	nv := n.g.N()
+	if nv == 0 || len(sources) == 0 {
+		return DiameterResult{AllReachable: true}
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	arr := sc.arrival(nv)
+	p := diamAccum{reachable: true}
+	useLinear, probed := n.raceKernels(sources[0], &p)
+	for _, s := range sources[probed:] {
+		if useLinear {
+			n.earliestArrivalsLinear(s, arr)
+		} else {
+			n.earliestArrivalsFrontier(s, 1, arr, nil, sc)
 		}
-		agg.reachable = agg.reachable && p.reachable
-		agg.sum += p.sum
-		agg.finite += p.finite
-		agg.pairs += p.pairs
+		p.add(s, arr)
 	}
-	res := DiameterResult{Max: agg.max, AllReachable: agg.reachable, Pairs: agg.pairs}
-	if agg.finite > 0 {
-		res.MeanFinite = float64(agg.sum) / float64(agg.finite)
-	}
-	return res
+	return p.result()
 }
 
 // Eccentricity returns max_t δ(s,t) from a single source and whether all
 // vertices were reached.
 func Eccentricity(n *Network, s int) (int32, bool) {
-	arr := n.EarliestArrivals(s)
+	sc := getScratch()
+	defer putScratch(sc)
+	arr := sc.arrival(n.g.N())
+	n.earliestArrivalsFrontier(s, 1, arr, nil, sc)
 	var ecc int32
 	all := true
 	for v, a := range arr {

@@ -1,5 +1,7 @@
 package temporal
 
+import "slices"
+
 // Journey-variant algorithms beyond the foremost journey: latest-departure,
 // minimum-hop ("shortest") and minimum-duration ("fastest") journeys — the
 // classical triad of Bui-Xuan, Ferreira and Jarry that the paper's related
@@ -221,41 +223,16 @@ func (n *Network) departureLabels(s int) []int32 {
 			}
 		}
 	}
-	sortInt32s(out)
+	slices.Sort(out)
 	return out
 }
 
-func sortInt32s(s []int32) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-}
-
 // earliestArrivalsFrom computes earliest arrivals from s using only labels
-// ≥ start: the scan sets arr[s] = start−1 so the first hop departs no
-// earlier than start.
+// ≥ start — the frontier kernel's restricted-departure form.
 func (n *Network) earliestArrivalsFrom(s int, start int32, arr []int32) {
-	for i := range arr {
-		arr[i] = Unreachable
-	}
-	arr[s] = start - 1
-	directed := n.g.Directed()
-	from, to := n.edgeEndpointArrays()
-	for i, e := range n.teEdge {
-		l := n.teLabel[i]
-		if l < start {
-			continue
-		}
-		u, v := from[e], to[e]
-		if arr[u] < l && l < arr[v] {
-			arr[v] = l
-		} else if !directed && arr[v] < l && l < arr[u] {
-			arr[u] = l
-		}
-	}
-	arr[s] = 0
+	sc := getScratch()
+	n.earliestArrivalsFrontier(s, start, arr, nil, sc)
+	putScratch(sc)
 }
 
 // FastestJourney returns a journey from s to t of minimum duration, or
@@ -284,54 +261,5 @@ func (n *Network) FastestJourney(s, t int) (Journey, bool) {
 	}
 	// Reconstruct within the winning window by a foremost trace restricted
 	// to labels ≥ bestStart.
-	return n.traceRestricted(s, t, bestStart)
-}
-
-// traceRestricted is ForemostJourney restricted to labels ≥ start.
-func (n *Network) traceRestricted(s, t int, start int32) (Journey, bool) {
-	nv := n.g.N()
-	arr := make([]int32, nv)
-	predTE := make([]int32, nv)
-	for i := range arr {
-		arr[i] = Unreachable
-		predTE[i] = -1
-	}
-	arr[s] = start - 1
-	directed := n.g.Directed()
-	from, to := n.edgeEndpointArrays()
-	for i, e := range n.teEdge {
-		l := n.teLabel[i]
-		if l < start {
-			continue
-		}
-		u, v := from[e], to[e]
-		if arr[u] < l && l < arr[v] {
-			arr[v] = l
-			predTE[v] = int32(i)
-		} else if !directed && arr[v] < l && l < arr[u] {
-			arr[u] = l
-			predTE[u] = int32(i)
-		}
-	}
-	if arr[t] == Unreachable {
-		return nil, false
-	}
-	var rev Journey
-	cur := int32(t)
-	for cur != int32(s) {
-		ti := predTE[cur]
-		e := n.teEdge[ti]
-		l := n.teLabel[ti]
-		u, v := from[e], to[e]
-		hopFrom := u
-		if v != cur {
-			hopFrom = v
-		}
-		rev = append(rev, Hop{From: int(hopFrom), To: int(cur), Edge: int(e), Label: l})
-		cur = hopFrom
-	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
-	}
-	return rev, true
+	return n.foremostRestricted(s, t, bestStart)
 }
