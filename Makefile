@@ -4,8 +4,11 @@
 GO        ?= go
 BENCH     ?= BenchmarkKernel
 BENCHTIME ?= 1s
+# COVER_MIN is the pre-PR-3 total-coverage baseline; `make cover` fails if
+# the tree drops below it. Raise it when coverage durably improves.
+COVER_MIN ?= 83.3
 
-.PHONY: all build test vet fmt bench clean
+.PHONY: all build test test-race cover vet fmt bench clean
 
 all: build test
 
@@ -14,6 +17,21 @@ build:
 
 test:
 	$(GO) test ./...
+
+# test-race is the CI quick-matrix job: the full suite (statistical
+# conformance, differential oracles, service concurrency) under the race
+# detector, uncached so races get a fresh shot every run.
+test-race:
+	$(GO) test -race -count=1 ./...
+
+# cover computes total statement coverage and enforces the COVER_MIN floor.
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
+	@$(GO) tool cover -func=cover.out | tail -1
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub("%","",$$NF); print $$NF }'); \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { \
+		if (t+0 < min+0) { printf "FAIL: coverage %.1f%% below floor %s%%\n", t, min; exit 1 } \
+		else { printf "coverage %.1f%% (floor %s%%)\n", t, min } }'
 
 vet:
 	$(GO) vet ./...
@@ -32,4 +50,4 @@ bench:
 	@echo "wrote BENCH_kernels.json"
 
 clean:
-	rm -f bench.txt BENCH_kernels.json
+	rm -f bench.txt BENCH_kernels.json cover.out

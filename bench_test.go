@@ -57,6 +57,9 @@ func BenchmarkE11MultiLabel(b *testing.B)            { runExperiment(b, "E11") }
 func BenchmarkE12Distributions(b *testing.B)         { runExperiment(b, "E12") }
 func BenchmarkE13Remark1(b *testing.B)               { runExperiment(b, "E13") }
 func BenchmarkE14Windows(b *testing.B)               { runExperiment(b, "E14") }
+func BenchmarkE15MarkovDiameter(b *testing.B)        { runExperiment(b, "E15") }
+func BenchmarkE16TimeVarying(b *testing.B)           { runExperiment(b, "E16") }
+func BenchmarkE17Geometric(b *testing.B)             { runExperiment(b, "E17") }
 
 // --- kernel micro-benchmarks -------------------------------------------
 

@@ -9,8 +9,12 @@
 //	experiments -format markdown # markdown tables (for EXPERIMENTS.md)
 //	experiments -format csv      # machine-readable tables
 //	experiments -seed 7          # change the Monte-Carlo base seed
+//	experiments -id E16 -model pt-burst          # single schedule in E16
+//	experiments -id E15 -mp pi=0.05,runlen=6     # availability-model overrides
+//	experiments -workers 1       # serial trials (same numbers, see sim)
 //
-// Every number printed is a deterministic function of the seed.
+// Every number printed is a deterministic function of the seed and the
+// model flags; -workers only changes scheduling, never results.
 package main
 
 import (
@@ -20,18 +24,40 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/avail"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		ids    = flag.String("id", "", "comma-separated experiment ids (default: all)")
-		seed   = flag.Uint64("seed", 2014, "Monte-Carlo base seed")
-		quick  = flag.Bool("quick", false, "reduced sizes and trial counts")
-		format = flag.String("format", "ascii", "output format: ascii, markdown or csv")
-		list   = flag.Bool("list", false, "list experiments and exit")
+		ids     = flag.String("id", "", "comma-separated experiment ids (default: all)")
+		seed    = flag.Uint64("seed", 2014, "Monte-Carlo base seed")
+		quick   = flag.Bool("quick", false, "reduced sizes and trial counts")
+		format  = flag.String("format", "ascii", "output format: ascii, markdown or csv")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		model   = flag.String("model", "", "availability model for the model-aware drivers (E15–E17)")
+		mp      = flag.String("mp", "", "availability-model parameter overrides, name=value[,name=value…]")
+		workers = flag.Int("workers", 0, "trial parallelism; 0 means GOMAXPROCS (results identical either way)")
 	)
 	flag.Parse()
+
+	knobs, err := avail.ParseKnobs(*mp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	if *model != "" {
+		if _, ok := avail.Lookup(*model); !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown model %q (have %s)\n",
+				*model, strings.Join(avail.Names(), ", "))
+			os.Exit(2)
+		}
+	}
+	// Typos in -mp must fail loudly, not silently run the defaults.
+	if err := avail.ValidateKnobs(*model, knobs); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -53,7 +79,7 @@ func main() {
 		}
 	}
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers, Model: *model, MP: knobs}
 	for _, e := range selected {
 		start := time.Now()
 		res := e.Run(cfg)

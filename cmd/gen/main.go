@@ -2,112 +2,131 @@
 // in the tnet text format (readable back with temporal.Decode), so
 // experiments can be frozen, shared and replayed.
 //
+// Label assignment goes through the availability-model registry
+// (internal/avail): -model picks any registered model and -mp sets its
+// parameters. The legacy -law/-lawparam flags remain as aliases for the
+// i.i.d. models. Scenario models (geometric) build their own support graph
+// on n vertices and ignore -family.
+//
 // Usage:
 //
 //	gen -family clique -n 64 > clique64.tnet
 //	gen -family star -n 128 -r 8 -seed 7
 //	gen -family gnp -n 200 -p 0.05 -lifetime 400
 //	gen -family grid -n 36 -law geom -lawparam 0.05
+//	gen -model markov -mp pi=0.05,runlen=6 -family path -n 50
+//	gen -model pt-burst -mp start=0.3,width=0.1 -n 64
+//	gen -model geometric -mp radius=0.18,step=0.05 -n 100
+//	gen -list-models
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
+	"strings"
 
-	"repro/internal/assign"
-	"repro/internal/dist"
+	"repro/internal/avail"
 	"repro/internal/graph"
 	"repro/internal/rng"
-	"repro/internal/temporal"
 )
 
 func main() {
 	var (
-		family   = flag.String("family", "clique", "clique, dclique, star, path, cycle, grid, hypercube, bintree, tree, gnp, regular")
-		n        = flag.Int("n", 64, "requested size")
-		p        = flag.Float64("p", 0, "edge probability for gnp (default 2·ln n/n)")
-		deg      = flag.Int("deg", 4, "degree for regular")
-		lifetime = flag.Int("lifetime", 0, "lifetime a (default n)")
-		r        = flag.Int("r", 1, "labels per edge")
-		law      = flag.String("law", "uniform", "label law: uniform, geom, binom, zipf")
-		lawParam = flag.Float64("lawparam", 0, "law parameter (geom p, binom q, zipf s)")
-		seed     = flag.Uint64("seed", 1, "generation seed")
+		family     = flag.String("family", "clique", strings.Join(graph.FamilyNames(), ", "))
+		n          = flag.Int("n", 64, "requested size")
+		p          = flag.Float64("p", 0, "edge probability for gnp (default 2·ln n/n)")
+		deg        = flag.Int("deg", 4, "degree for regular")
+		lifetime   = flag.Int("lifetime", 0, "lifetime a (default n)")
+		r          = flag.Int("r", 1, "labels per edge for the i.i.d. models")
+		model      = flag.String("model", "", "availability model (see -list-models); overrides -law")
+		mp         = flag.String("mp", "", "model parameters, name=value[,name=value…]")
+		law        = flag.String("law", "uniform", "legacy i.i.d. label law: uniform, geom, binom, zipf")
+		lawParam   = flag.Float64("lawparam", 0, "legacy law parameter (geom p, binom p, zipf s)")
+		seed       = flag.Uint64("seed", 1, "generation seed")
+		listModels = flag.Bool("list-models", false, "list availability models and exit")
 	)
 	flag.Parse()
 
+	if *listModels {
+		for _, b := range avail.Builders() {
+			kind := "edge"
+			if b.Scenario {
+				kind = "scenario"
+			}
+			fmt.Printf("%-12s %-8s %s\n", b.Name, kind, b.Doc)
+			for _, k := range b.Knobs {
+				fmt.Printf("             -mp %s=… (default %g): %s\n", k.Name, k.Default, k.Doc)
+			}
+		}
+		return
+	}
+
+	knobs, err := avail.ParseKnobs(*mp)
+	if err != nil {
+		fail("%v", err)
+	}
+	name := *model
+	if name == "" {
+		// Legacy path: the law names are registry names; -lawparam maps to
+		// the law's single knob.
+		name = *law
+		if *lawParam != 0 {
+			if knobs == nil {
+				knobs = map[string]float64{}
+			}
+			switch *law {
+			case "geom", "binom":
+				knobs["p"] = *lawParam
+			case "zipf":
+				knobs["s"] = *lawParam
+			default:
+				fail("gen: -lawparam is meaningless for law %q", *law)
+			}
+		}
+	}
+
+	b, ok := avail.Lookup(name)
+	if !ok {
+		fail("gen: unknown model %q (have %s)", name, strings.Join(avail.Names(), ", "))
+	}
+
+	// The graph comes first: the default lifetime is the *realized* vertex
+	// count g.N() — families like hypercube and grid round the requested
+	// -n — and scenario models build their own support graph, so they get
+	// an edgeless n-vertex placeholder instead of a discarded (and, for
+	// random families, stream-consuming) -family substrate.
 	stream := rng.New(*seed)
 	var g *graph.Graph
-	switch *family {
-	case "clique":
-		g = graph.Clique(*n, false)
-	case "dclique":
-		g = graph.Clique(*n, true)
-	case "star":
-		g = graph.Star(*n)
-	case "path":
-		g = graph.Path(*n)
-	case "cycle":
-		g = graph.Cycle(*n)
-	case "grid":
-		g = graph.Grid((*n+3)/4, 4)
-	case "hypercube":
-		g = graph.Hypercube(int(math.Floor(math.Log2(float64(*n)))))
-	case "bintree":
-		g = graph.BinaryTree(*n)
-	case "tree":
-		g = graph.RandomTree(*n, stream)
-	case "gnp":
-		pp := *p
-		if pp == 0 {
-			pp = 2 * math.Log(float64(*n)) / float64(*n)
+	fam := *family
+	if b.Scenario {
+		g = graph.NewBuilder(*n, false).Build()
+		fam = "(scenario)"
+	} else {
+		g, err = graph.Family(*family, *n, graph.FamilyOpts{P: *p, Deg: *deg}, stream)
+		if err != nil {
+			fail("gen: %v (use one of %s)", err, strings.Join(graph.FamilyNames(), ", "))
 		}
-		g = graph.Gnp(*n, pp, false, stream)
-	case "regular":
-		g = graph.RandomRegular(*n, *deg, stream)
-	default:
-		fmt.Fprintf(os.Stderr, "gen: unknown family %q\n", *family)
-		os.Exit(2)
 	}
 
 	a := *lifetime
 	if a == 0 {
 		a = g.N()
 	}
-
-	var lab temporal.Labeling
-	switch *law {
-	case "uniform":
-		lab = assign.Uniform(g, a, *r, stream)
-	case "geom":
-		q := *lawParam
-		if q == 0 {
-			q = 2 / float64(a)
-		}
-		lab = assign.FromDistribution(g, dist.NewGeometric(q, a), *r, stream)
-	case "binom":
-		q := *lawParam
-		if q == 0 {
-			q = 0.5
-		}
-		lab = assign.FromDistribution(g, dist.NewBinomial(q, a), *r, stream)
-	case "zipf":
-		s := *lawParam
-		if s == 0 {
-			s = 1.1
-		}
-		lab = assign.FromDistribution(g, dist.NewZipf(s, a), *r, stream)
-	default:
-		fmt.Fprintf(os.Stderr, "gen: unknown law %q\n", *law)
-		os.Exit(2)
+	m, err := avail.Build(name, avail.Params{Lifetime: a, R: *r, P: knobs})
+	if err != nil {
+		fail("gen: %v", err)
 	}
 
-	net := temporal.MustNew(g, a, lab)
-	fmt.Printf("# family=%s n=%d m=%d lifetime=%d r=%d law=%s seed=%d\n",
-		*family, g.N(), g.M(), a, *r, *law, *seed)
+	net := avail.Network(m, g, stream)
+	fmt.Printf("# family=%s n=%d m=%d lifetime=%d r=%d model=%s seed=%d\n",
+		fam, net.Graph().N(), net.Graph().M(), a, *r, m.Name(), *seed)
 	if err := net.Encode(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "gen: %v\n", err)
-		os.Exit(1)
+		fail("gen: %v", err)
 	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
 }

@@ -27,12 +27,18 @@
 //	internal/core        the paper's contributions (Algorithm 1, §3.5 spreading,
 //	                     Theorem 5 prefix machinery, Price of Randomness)
 //	internal/phonecall   PUSH / PUSH-PULL rumor spreading baselines
-//	internal/dist        label distributions for the F-CASE
+//	internal/dist        label distributions for the F-CASE, with analytic
+//	                     PMFs for the chi-square conformance suite
+//	internal/avail       availability-model registry: i.i.d. laws, Markov
+//	                     on/off link dynamics, time-varying p(t) schedules,
+//	                     and the dynamic geometric (torus random-walk)
+//	                     scenario, all bit-deterministic per stream
 //	internal/rng         deterministic splittable randomness
 //	internal/sim         parallel Monte-Carlo harness
-//	internal/stats       samples, confidence intervals, regression
+//	internal/stats       samples, confidence intervals, regression, and
+//	                     chi-square goodness-of-fit machinery
 //	internal/table       ASCII/CSV/Markdown/JSON tables and ASCII plots
-//	internal/experiments experiment drivers E1–E14 (see DESIGN.md), plus the
+//	internal/experiments experiment drivers E1–E17 (see DESIGN.md), plus the
 //	                     context-aware Run wrapper with per-trial progress
 //	internal/service     experiment service: job manager over a bounded
 //	                     worker pool, LRU result cache keyed by
@@ -43,9 +49,9 @@
 // The experiment service (internal/service + cmd/serve) turns the one-shot
 // drivers into a long-running system: jobs are submitted, tracked and
 // cancelled over HTTP, results are rendered as JSON/CSV/Markdown, and —
-// because every driver is a pure function of (experiment, seed, quick) —
-// repeated requests are served bit-identically from an LRU cache. See the
-// README for endpoint documentation and curl examples.
+// because every driver is a pure function of (experiment, seed, quick,
+// model, mp) — repeated requests are served bit-identically from an LRU
+// cache. See the README for endpoint documentation and curl examples.
 //
 // The root package holds the repository-level benchmarks (bench_test.go):
 // one benchmark per experiment table/figure plus micro-benchmarks of the

@@ -1,0 +1,81 @@
+package avail
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/temporal"
+)
+
+// DefaultLifetime is the label range used when a Params leaves Lifetime
+// unset.
+const DefaultLifetime = 64
+
+// Model assigns time labels in {1,…,Lifetime()} to the edges of a static
+// graph. Implementations draw randomness only from the stream they are
+// handed, in an order fixed by the model and its parameters, so assignments
+// are bit-deterministic per (seed, params).
+type Model interface {
+	// Name is a short identifier used in table rows and file headers.
+	Name() string
+	// Lifetime is the largest label the model can emit (the paper's a).
+	Lifetime() int
+	// Assign draws a labeling for the edges of g using only stream. Edges
+	// may receive empty label sets.
+	Assign(g *graph.Graph, stream *rng.Stream) temporal.Labeling
+}
+
+// Scenario is a model whose adjacency is part of the model: Generate builds
+// both the static support graph on n vertices and its labeling from one
+// stream. Scenario models still implement Assign — given an explicit
+// substrate they label only its edges — but Generate is the primary entry
+// point.
+type Scenario interface {
+	Model
+	Generate(n int, stream *rng.Stream) (*graph.Graph, temporal.Labeling)
+}
+
+// Params parameterizes a registry Build. The zero value selects every
+// default.
+type Params struct {
+	// Lifetime is the label range a; 0 or negative selects DefaultLifetime.
+	Lifetime int `json:"lifetime,omitempty"`
+	// R is the labels-per-edge budget of the i.i.d. laws; 0 or negative
+	// means 1. Non-i.i.d. models ignore it.
+	R int `json:"r,omitempty"`
+	// P holds model-specific numeric knobs by name; missing knobs take the
+	// registered defaults, unknown names are a Build error.
+	P map[string]float64 `json:"p,omitempty"`
+}
+
+func (p Params) lifetime() int {
+	if p.Lifetime <= 0 {
+		return DefaultLifetime
+	}
+	return p.Lifetime
+}
+
+func (p Params) r() int {
+	if p.R <= 0 {
+		return 1
+	}
+	return p.R
+}
+
+// get returns the named knob, or def when absent.
+func (p Params) get(name string, def float64) float64 {
+	if v, ok := p.P[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Network assembles the temporal network a model induces on substrate g:
+// scenario models replace g by their own support graph on g.N() vertices,
+// edge models label g itself. The result's lifetime is the model's.
+func Network(m Model, g *graph.Graph, stream *rng.Stream) *temporal.Network {
+	if sc, ok := m.(Scenario); ok {
+		gg, lab := sc.Generate(g.N(), stream)
+		return temporal.MustNew(gg, m.Lifetime(), lab)
+	}
+	return temporal.MustNew(g, m.Lifetime(), m.Assign(g, stream))
+}

@@ -1,0 +1,37 @@
+// Package avail is the availability-model registry: it abstracts *how time
+// labels are assigned to the edges of a static graph*, making the paper's
+// i.i.d. F-CASE label laws (package dist, threaded through
+// assign.FromDistribution) one model among several.
+//
+// A Model deterministically maps (graph, rng.Stream) to a temporal.Labeling;
+// a Scenario additionally owns its adjacency and generates graph and
+// labeling together (the dynamic geometric model, where which links exist at
+// all is an outcome of mobility). Every model draws randomness only from the
+// stream it is handed, in a fixed order, so networks built from
+// rng.NewStream(seed, trial) are bit-identical for any worker count or
+// scheduling — the same determinism contract internal/sim and
+// internal/service cache on.
+//
+// Registered models:
+//
+//   - uniform, binom, geom, zipf — the i.i.d. F-CASE laws: R independent
+//     labels per edge from the named dist law (uniform is the paper's
+//     UNI-CASE).
+//   - markov — correlated on/off link dynamics: each edge runs an
+//     independent two-state Markov chain started from its stationary
+//     distribution; the edge carries label t iff the chain is "on" at t.
+//     The chain is parameterized by the stationary availability pi and the
+//     mean on-run length runlen, so labels arrive in bursts whose
+//     persistence is tunable at a fixed expected label budget (the
+//     Díaz–Mitsche–Pérez correlated-dynamics gap named in PAPERS.md).
+//   - pt, pt-ramp, pt-periodic, pt-burst — time-varying availability: slot
+//     t is a label independently with probability p(t), where p is a ramp,
+//     a sinusoid, or a burst window. pt is an alias for pt-ramp.
+//   - geometric — a dynamic random geometric graph scenario: n points do
+//     seeded random walks on the unit torus and the edge {u,v} is live at
+//     label t iff the torus distance between u and v is at most radius.
+//
+// Use Build(name, Params) to construct a registered model, Network to
+// assemble a temporal.Network from a model and substrate, and Builders for
+// the registry metadata served by the experiment service's GET /models.
+package avail

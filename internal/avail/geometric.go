@@ -1,0 +1,238 @@
+package avail
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/temporal"
+)
+
+// Geometric is the dynamic random geometric graph scenario: n points start
+// uniform on the unit torus [0,1)² and do independent random walks (per-slot
+// displacement uniform in [-step, step]², wrapped); the edge {u,v} is live
+// at label t exactly when the torus distance between u and v is at most the
+// radius. Because the uniform law is stationary for the wrapped walk, the
+// per-slot live probability of any fixed pair is the disc area π·radius²
+// at every t — the quantity the conformance suite tests — while successive
+// slots are strongly correlated through the motion, the regime of the
+// Díaz–Mitsche–Pérez dynamic random geometric graphs.
+//
+// As a Scenario its Generate builds the support graph of every pair that is
+// ever live; Assign labels an explicit substrate instead, gating each of
+// its edges by the same mobility.
+type Geometric struct {
+	a      int
+	radius float64 // 0 = auto: 1.5·sqrt(ln n/(π·n)) at build time
+	step   float64
+}
+
+// NewGeometric builds the scenario. radius 0 selects the automatic value
+// 1.5·sqrt(ln n/(π·n)) — 1.5× the static connectivity threshold — once n is
+// known; explicit radii must lie in (0, 0.5) so the torus disc area formula
+// π·r² holds. step is the per-coordinate half-range of one displacement.
+func NewGeometric(a int, radius, step float64) (Geometric, error) {
+	if a < 1 {
+		return Geometric{}, fmt.Errorf("geometric needs lifetime >= 1, got %d", a)
+	}
+	if radius != 0 && !(radius > 0 && radius < 0.5) {
+		return Geometric{}, fmt.Errorf("geometric needs radius in (0,0.5) or 0=auto, got %v", radius)
+	}
+	if !(step > 0 && step <= 0.5) {
+		return Geometric{}, fmt.Errorf("geometric needs step in (0,0.5], got %v", step)
+	}
+	return Geometric{a: a, radius: radius, step: step}, nil
+}
+
+func (m Geometric) Name() string {
+	r := "auto"
+	if m.radius > 0 {
+		r = fmt.Sprintf("%.3g", m.radius)
+	}
+	return fmt.Sprintf("geometric(r=%s,step=%.3g)", r, m.step)
+}
+
+func (m Geometric) Lifetime() int { return m.a }
+
+// Radius resolves the live radius for an n-point instance.
+func (m Geometric) Radius(n int) float64 {
+	if m.radius > 0 {
+		return m.radius
+	}
+	if n < 2 {
+		return 0.25
+	}
+	r := 1.5 * math.Sqrt(math.Log(float64(n))/(math.Pi*float64(n)))
+	return math.Min(r, 0.49)
+}
+
+// walk holds the evolving point positions.
+type walk struct {
+	xs, ys []float64
+	step   float64
+}
+
+func newWalk(n int, step float64, stream *rng.Stream) *walk {
+	w := &walk{xs: make([]float64, n), ys: make([]float64, n), step: step}
+	for i := 0; i < n; i++ {
+		w.xs[i] = stream.Float64()
+		w.ys[i] = stream.Float64()
+	}
+	return w
+}
+
+// advance moves every point one slot, drawing 2n uniforms in vertex order.
+func (w *walk) advance(stream *rng.Stream) {
+	for i := range w.xs {
+		w.xs[i] = wrap01(w.xs[i] + (2*stream.Float64()-1)*w.step)
+		w.ys[i] = wrap01(w.ys[i] + (2*stream.Float64()-1)*w.step)
+	}
+}
+
+func wrap01(x float64) float64 {
+	x = math.Mod(x, 1)
+	if x < 0 {
+		x++
+	}
+	return x
+}
+
+// dist2 is the squared torus distance between points i and j.
+func (w *walk) dist2(i, j int) float64 {
+	dx := math.Abs(w.xs[i] - w.xs[j])
+	if dx > 0.5 {
+		dx = 1 - dx
+	}
+	dy := math.Abs(w.ys[i] - w.ys[j])
+	if dy > 0.5 {
+		dy = 1 - dy
+	}
+	return dx*dx + dy*dy
+}
+
+// Assign gates the edges of an explicit substrate by the mobility: edge e
+// carries label t iff its endpoints are within the radius at slot t. Edges
+// whose endpoints never meet receive empty label sets.
+func (m Geometric) Assign(g *graph.Graph, stream *rng.Stream) temporal.Labeling {
+	n := g.N()
+	r := m.Radius(n)
+	r2 := r * r
+	w := newWalk(n, m.step, stream)
+	sets := make([][]int, g.M())
+	for t := 1; t <= m.a; t++ {
+		for e := 0; e < g.M(); e++ {
+			u, v := g.Endpoints(e)
+			if w.dist2(u, v) <= r2 {
+				sets[e] = append(sets[e], t)
+			}
+		}
+		if t < m.a {
+			w.advance(stream)
+		}
+	}
+	return temporal.LabelingFromSets(sets)
+}
+
+// Generate runs the walk and returns the support graph of every pair that
+// is ever live, labeled with its live slots. Close pairs are found through
+// a uniform grid of cells no smaller than the radius, so a slot costs
+// O(n + live pairs) rather than O(n²) when the radius is small. The pair
+// map is flushed through a sorted key pass, so edge order — and therefore
+// the Labeling — is deterministic.
+func (m Geometric) Generate(n int, stream *rng.Stream) (*graph.Graph, temporal.Labeling) {
+	if n < 0 {
+		panic("avail: geometric Generate with negative n")
+	}
+	r := m.Radius(n)
+	r2 := r * r
+	w := newWalk(n, m.step, stream)
+	pairs := make(map[int64][]int)
+	cells := int(math.Floor(1 / r))
+	for t := 1; t <= m.a; t++ {
+		if cells < 4 || n < 16 {
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					if w.dist2(u, v) <= r2 {
+						key := int64(u)*int64(n) + int64(v)
+						pairs[key] = append(pairs[key], t)
+					}
+				}
+			}
+		} else {
+			m.closePairsGrid(n, cells, r2, w, t, pairs)
+		}
+		if t < m.a {
+			w.advance(stream)
+		}
+	}
+
+	keys := make([]int64, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	b := graph.NewBuilder(n, false)
+	sets := make([][]int, 0, len(keys))
+	for _, k := range keys {
+		b.AddEdge(int(k/int64(n)), int(k%int64(n)))
+		sets = append(sets, pairs[k])
+	}
+	return b.Build(), temporal.LabelingFromSets(sets)
+}
+
+// closePairsGrid appends slot t to every pair within the radius, bucketing
+// points into a cells×cells torus grid and scanning 3×3 neighborhoods.
+func (m Geometric) closePairsGrid(n, cells int, r2 float64, w *walk, t int, pairs map[int64][]int) {
+	buckets := make([][]int32, cells*cells)
+	cellOf := func(i int) (int, int) {
+		cx := int(w.xs[i] * float64(cells))
+		cy := int(w.ys[i] * float64(cells))
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return cx, cy
+	}
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(i)
+		buckets[cy*cells+cx] = append(buckets[cy*cells+cx], int32(i))
+	}
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(i)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				bx := (cx + dx + cells) % cells
+				by := (cy + dy + cells) % cells
+				for _, j32 := range buckets[by*cells+bx] {
+					j := int(j32)
+					if j <= i {
+						continue
+					}
+					if w.dist2(i, j) <= r2 {
+						key := int64(i)*int64(n) + int64(j)
+						pairs[key] = append(pairs[key], t)
+					}
+				}
+			}
+		}
+	}
+}
+
+func init() {
+	Register(Builder{
+		Name:     "geometric",
+		Doc:      "dynamic random geometric graph: torus random walks, edge live at t iff within radius",
+		Scenario: true,
+		Knobs: []Knob{
+			{Name: "radius", Default: 0, Doc: "live radius in (0,0.5); 0 means 1.5·sqrt(ln n/(π·n))"},
+			{Name: "step", Default: 0.05, Doc: "per-slot displacement half-range in (0,0.5]"},
+		},
+		New: func(p Params) (Model, error) {
+			return NewGeometric(p.lifetime(), p.get("radius", 0), p.get("step", 0.05))
+		},
+	})
+}

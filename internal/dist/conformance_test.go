@@ -1,0 +1,98 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// TestPMFSumsToOne checks every law's analytic pmf is a probability vector.
+func TestPMFSumsToOne(t *testing.T) {
+	for _, d := range conformanceLaws(12) {
+		pmf := d.PMF()
+		if len(pmf) != d.Lifetime() {
+			t.Fatalf("%s: pmf has %d entries, lifetime %d", d.Name(), len(pmf), d.Lifetime())
+		}
+		sum := 0.0
+		for _, p := range pmf {
+			if p < 0 {
+				t.Fatalf("%s: negative pmf entry %v", d.Name(), p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: pmf sums to %v", d.Name(), sum)
+		}
+	}
+}
+
+func conformanceLaws(a int) []Distribution {
+	return []Distribution{
+		NewUniform(a),
+		NewBinomial(0.5, a),
+		NewBinomial(0.15, a),
+		NewGeometric(2/float64(a), a),
+		NewGeometric(0.9, a),
+		NewZipf(1.1, a),
+		NewZipf(2.5, a),
+	}
+}
+
+// TestSampleConformsToPMF is the chi-square goodness-of-fit gate: at fixed
+// seeds, the empirical label frequencies of every law must not reject the
+// analytic pmf at the 99.9% level. The seeds are pinned, so the statistic is
+// a deterministic number and the test cannot flake; if it fails, a sampler
+// and its pmf genuinely disagree.
+func TestSampleConformsToPMF(t *testing.T) {
+	const samples = 200_000
+	a := 12
+	for li, d := range conformanceLaws(a) {
+		pmf := d.PMF()
+		obs := make([]float64, a)
+		r := rng.NewStream(0xD157, uint64(li))
+		for i := 0; i < samples; i++ {
+			k := d.Sample(r)
+			if k < 1 || k > a {
+				t.Fatalf("%s: sample %d outside [1,%d]", d.Name(), k, a)
+			}
+			obs[k-1]++
+		}
+		exp := make([]float64, a)
+		for k := range exp {
+			exp[k] = pmf[k] * samples
+		}
+		// Fold cells whose expectation is below 5 (the classical validity
+		// rule) into their left neighbor so the asymptotic χ² law applies.
+		fobs, fexp := foldSmallCells(obs, exp, 5)
+		stat := stats.ChiSquare(fobs, fexp)
+		df := float64(len(fexp) - 1)
+		crit := stats.ChiSquareQuantile(0.999, df)
+		if stat > crit {
+			t.Errorf("%s: chi-square %.2f > critical %.2f (df=%v)", d.Name(), stat, crit, df)
+		}
+	}
+}
+
+// foldSmallCells merges adjacent cells until every expected count reaches
+// minExp, preserving totals.
+func foldSmallCells(obs, exp []float64, minExp float64) (fo, fe []float64) {
+	for i := range exp {
+		if len(fe) > 0 && fe[len(fe)-1] < minExp {
+			fo[len(fo)-1] += obs[i]
+			fe[len(fe)-1] += exp[i]
+			continue
+		}
+		fo = append(fo, obs[i])
+		fe = append(fe, exp[i])
+	}
+	// The last cell may still be small; merge it leftward.
+	for len(fe) > 1 && fe[len(fe)-1] < minExp {
+		fe[len(fe)-2] += fe[len(fe)-1]
+		fo[len(fo)-2] += fo[len(fo)-1]
+		fe = fe[:len(fe)-1]
+		fo = fo[:len(fo)-1]
+	}
+	return fo, fe
+}

@@ -22,6 +22,10 @@ type Distribution interface {
 	Lifetime() int
 	// Name is a short identifier used in table rows.
 	Name() string
+	// PMF returns the analytic probability mass function as a fresh slice:
+	// entry k-1 is P(label = k) for k in {1,…,Lifetime()}. The conformance
+	// suite tests Sample against it by chi-square goodness of fit.
+	PMF() []float64
 }
 
 // Uniform is the UNI-CASE law: every label in {1,…,a} equally likely.
@@ -36,6 +40,14 @@ func NewUniform(a int) Uniform {
 func (u Uniform) Sample(r *rng.Stream) int { return 1 + r.Intn(u.a) }
 func (u Uniform) Lifetime() int            { return u.a }
 func (u Uniform) Name() string             { return "uniform" }
+
+func (u Uniform) PMF() []float64 {
+	pmf := make([]float64, u.a)
+	for k := range pmf {
+		pmf[k] = 1 / float64(u.a)
+	}
+	return pmf
+}
 
 // Binomial shifts a Binomial(a−1, p) draw to {1,…,a}: the label mass peaks
 // near p·a, modelling links that mostly become available mid-lifetime.
@@ -62,6 +74,34 @@ func (b Binomial) Sample(r *rng.Stream) int {
 }
 func (b Binomial) Lifetime() int { return b.a }
 func (b Binomial) Name() string  { return fmt.Sprintf("binom(p=%.3g)", b.p) }
+
+func (b Binomial) PMF() []float64 {
+	// P(label = k) = C(a−1, k−1) p^{k−1} (1−p)^{a−k}, computed in log space
+	// so large lifetimes stay finite.
+	pmf := make([]float64, b.a)
+	n := float64(b.a - 1)
+	lgN, _ := math.Lgamma(n + 1)
+	for k := 1; k <= b.a; k++ {
+		j := float64(k - 1)
+		lgK, _ := math.Lgamma(j + 1)
+		lgNK, _ := math.Lgamma(n - j + 1)
+		logp := lgN - lgK - lgNK
+		if b.p > 0 {
+			logp += j * math.Log(b.p)
+		} else if j > 0 {
+			pmf[k-1] = 0
+			continue
+		}
+		if b.p < 1 {
+			logp += (n - j) * math.Log(1-b.p)
+		} else if n-j > 0 {
+			pmf[k-1] = 0
+			continue
+		}
+		pmf[k-1] = math.Exp(logp)
+	}
+	return pmf
+}
 
 // Geometric is the geometric law with success probability p truncated to
 // {1,…,a}: mass concentrates on the earliest labels, the "eager links"
@@ -98,6 +138,19 @@ func (g Geometric) Sample(r *rng.Stream) int {
 }
 func (g Geometric) Lifetime() int { return g.a }
 func (g Geometric) Name() string  { return fmt.Sprintf("geom(p=%.3g)", g.p) }
+
+func (g Geometric) PMF() []float64 {
+	// P(label = k) = p(1−p)^{k−1} for k < a; the folded tail (1−p)^{a−1}
+	// sits on a.
+	pmf := make([]float64, g.a)
+	q := 1.0
+	for k := 1; k < g.a; k++ {
+		pmf[k-1] = g.p * q
+		q *= 1 - g.p
+	}
+	pmf[g.a-1] = q
+	return pmf
+}
 
 // Zipf is the power law P(k) ∝ k^(−s) on {1,…,a}: heavy early mass with a
 // polynomial (rather than exponential) tail.
@@ -142,6 +195,16 @@ func (z Zipf) Sample(r *rng.Stream) int {
 }
 func (z Zipf) Lifetime() int { return z.a }
 func (z Zipf) Name() string  { return fmt.Sprintf("zipf(s=%.3g)", z.s) }
+
+func (z Zipf) PMF() []float64 {
+	pmf := make([]float64, z.a)
+	prev := 0.0
+	for k := range pmf {
+		pmf[k] = z.cdf[k] - prev
+		prev = z.cdf[k]
+	}
+	return pmf
+}
 
 func checkLifetime(a int) {
 	if a < 1 {

@@ -1,0 +1,57 @@
+package experiments
+
+// Golden determinism for the new model-aware drivers: E15–E17 must render
+// bit-identical output for every worker count — the contract the service's
+// result cache and the BENCH trajectory comparisons stand on.
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestNewDriversBitIdenticalAcrossWorkers(t *testing.T) {
+	for _, id := range []string{"E15", "E16", "E17"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		want := renderAll(e.Run(Config{Seed: 42, Quick: true, Workers: 1}))
+		if want == "" {
+			t.Fatalf("%s: empty render", id)
+		}
+		for _, workers := range []int{4, runtime.GOMAXPROCS(0), 0} {
+			got := renderAll(e.Run(Config{Seed: 42, Quick: true, Workers: workers}))
+			if got != want {
+				t.Fatalf("%s: output with Workers=%d differs from Workers=1", id, workers)
+			}
+		}
+	}
+}
+
+// TestModelParamOverridesChangeResults pins that the Config.MP threading
+// actually reaches the drivers: an override must alter the rendered output
+// (and the same override must do so reproducibly).
+func TestModelParamOverridesChangeResults(t *testing.T) {
+	e, _ := ByID("E15")
+	base := renderAll(e.Run(Config{Seed: 7, Quick: true}))
+	over := Config{Seed: 7, Quick: true, MP: map[string]float64{"runlen": 3}}
+	got1 := renderAll(e.Run(over))
+	got2 := renderAll(e.Run(over))
+	if got1 == base {
+		t.Fatal("E15: runlen override did not change the output")
+	}
+	if got1 != got2 {
+		t.Fatal("E15: override run is not deterministic")
+	}
+
+	e16, _ := ByID("E16")
+	all := renderAll(e16.Run(Config{Seed: 7, Quick: true}))
+	only := renderAll(e16.Run(Config{Seed: 7, Quick: true, Model: "pt-burst"}))
+	if strings.Contains(only, "pt-ramp") || !strings.Contains(only, "pt-burst") {
+		t.Fatal("E16: Model=pt-burst did not restrict the schedule sweep")
+	}
+	if only == all {
+		t.Fatal("E16: Model selection did not change the output")
+	}
+}

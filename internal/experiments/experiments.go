@@ -31,6 +31,18 @@ type Config struct {
 	// Progress, when non-nil, is called once per completed Monte-Carlo
 	// trial, from worker goroutines; it must be safe for concurrent use.
 	Progress func()
+	// Workers bounds trial parallelism inside the sim harness; 0 means
+	// GOMAXPROCS. Completed results are bit-identical for every value —
+	// the golden determinism tests pin this.
+	Workers int
+	// Model optionally names an availability model (internal/avail
+	// registry) for the model-aware drivers: E16 runs only the named
+	// pt schedule instead of sweeping all three. Other drivers ignore it.
+	Model string
+	// MP overrides individual availability-model parameters by name for
+	// the model-aware drivers (E15: pi, runlen; E16: schedule knobs;
+	// E17: radius, step). Drivers read overrides through cfg.mp.
+	MP map[string]float64
 }
 
 // run executes trials through the shared Monte-Carlo harness with the
@@ -38,9 +50,17 @@ type Config struct {
 // aggregation order are exactly those of sim.Runner.Run, so completed runs
 // are bit-identical with or without the plumbing.
 func (cfg Config) run(trials int, seed uint64, trial sim.Trial) *sim.Results {
-	res, _ := sim.Runner{Trials: trials, Seed: seed, OnTrial: cfg.Progress}.
+	res, _ := sim.Runner{Trials: trials, Seed: seed, Workers: cfg.Workers, OnTrial: cfg.Progress}.
 		RunContext(cfg.ctx(), trial)
 	return res
+}
+
+// mp returns the named model-parameter override, or def when absent.
+func (cfg Config) mp(name string, def float64) float64 {
+	if v, ok := cfg.MP[name]; ok {
+		return v
+	}
+	return def
 }
 
 func (cfg Config) ctx() context.Context {
@@ -91,6 +111,9 @@ func All() []Experiment {
 		{"E12", "F-RTN label-law ablation", "Section 2 note (F-CASE)", E12Distributions},
 		{"E13", "Directed vs undirected clique", "Remark 1", E13Remark1},
 		{"E14", "Availability windows (interval bridge)", "Section 1.2 (continuous availabilities)", E14Windows},
+		{"E15", "Markov on/off links: diameter vs persistence", "Correlated availability (Díaz–Mitsche–Pérez gap)", E15MarkovDiameter},
+		{"E16", "Time-varying p(t): connectivity vs schedule shape", "Time-dependent availability (§1.2 contrast)", E16TimeVarying},
+		{"E17", "Dynamic geometric scenario: radius threshold", "Dynamic random geometric graphs (PAPERS.md)", E17Geometric},
 	}
 }
 

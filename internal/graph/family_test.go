@@ -1,0 +1,49 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestFamilyBuildsEveryName(t *testing.T) {
+	r := rng.New(5)
+	for _, name := range FamilyNames() {
+		g, err := Family(name, 16, FamilyOpts{}, r)
+		if err != nil {
+			t.Fatalf("Family(%q): %v", name, err)
+		}
+		if g.N() < 1 {
+			t.Fatalf("Family(%q): empty graph", name)
+		}
+		directed := name == "dclique"
+		if g.Directed() != directed {
+			t.Fatalf("Family(%q): directed=%v", name, g.Directed())
+		}
+	}
+	if _, err := Family("nope", 8, FamilyOpts{}, r); err == nil {
+		t.Fatal("unknown family must error")
+	}
+}
+
+func TestFamilyOptsApply(t *testing.T) {
+	r := rng.New(7)
+	dense, err := Family("gnp", 24, FamilyOpts{P: 0.9}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := Family("gnp", 24, FamilyOpts{P: 0.01}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.M() <= sparse.M() {
+		t.Fatalf("P not applied: dense m=%d sparse m=%d", dense.M(), sparse.M())
+	}
+	reg, err := Family("regular", 12, FamilyOpts{Deg: 6}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.M() != 12*6/2 {
+		t.Fatalf("Deg not applied: m=%d", reg.M())
+	}
+}

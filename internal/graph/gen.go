@@ -7,6 +7,62 @@ import (
 	"repro/internal/rng"
 )
 
+// FamilyOpts tunes the parameterized families of Family. The zero value
+// selects every default.
+type FamilyOpts struct {
+	// P is the gnp edge probability; 0 means the connectivity-threshold
+	// default 2·ln n/n.
+	P float64
+	// Deg is the regular degree; 0 means 4.
+	Deg int
+}
+
+// FamilyNames lists the names Family accepts, in display order.
+func FamilyNames() []string {
+	return []string{"clique", "dclique", "star", "path", "cycle", "grid",
+		"hypercube", "bintree", "tree", "gnp", "regular"}
+}
+
+// Family builds the named graph family on (about) n vertices — the shared
+// substrate vocabulary of cmd/gen, the experiment drivers and the
+// differential test matrices. Randomized families (tree, gnp, regular)
+// draw from r; deterministic families ignore it.
+func Family(name string, n int, o FamilyOpts, r *rng.Stream) (*Graph, error) {
+	switch name {
+	case "clique":
+		return Clique(n, false), nil
+	case "dclique":
+		return Clique(n, true), nil
+	case "star":
+		return Star(n), nil
+	case "path":
+		return Path(n), nil
+	case "cycle":
+		return Cycle(n), nil
+	case "grid":
+		return Grid((n+3)/4, 4), nil
+	case "hypercube":
+		return Hypercube(int(math.Floor(math.Log2(float64(n))))), nil
+	case "bintree":
+		return BinaryTree(n), nil
+	case "tree":
+		return RandomTree(n, r), nil
+	case "gnp":
+		p := o.P
+		if p == 0 {
+			p = 2 * math.Log(float64(n)) / float64(n)
+		}
+		return Gnp(n, p, false, r), nil
+	case "regular":
+		d := o.Deg
+		if d == 0 {
+			d = 4
+		}
+		return RandomRegular(n, d, r), nil
+	}
+	return nil, fmt.Errorf("graph: unknown family %q", name)
+}
+
 // Clique returns the complete graph K_n. When directed is true the result
 // is the complete digraph with both arcs (u,v) and (v,u) for every pair —
 // the network of Section 3 of the paper.

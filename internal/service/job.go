@@ -70,17 +70,19 @@ func (j *Job) Payload() (*Payload, bool) {
 
 // View is the JSON rendering of a job's status.
 type View struct {
-	ID          string     `json:"id"`
-	Experiment  string     `json:"experiment"`
-	Seed        uint64     `json:"seed"`
-	Quick       bool       `json:"quick"`
-	State       State      `json:"state"`
-	Trials      int64      `json:"trials_completed"`
-	FromCache   bool       `json:"from_cache"`
-	Error       string     `json:"error,omitempty"`
-	SubmittedAt time.Time  `json:"submitted_at"`
-	StartedAt   *time.Time `json:"started_at,omitempty"`
-	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	ID          string             `json:"id"`
+	Experiment  string             `json:"experiment"`
+	Seed        uint64             `json:"seed"`
+	Quick       bool               `json:"quick"`
+	Model       string             `json:"model,omitempty"`
+	MP          map[string]float64 `json:"mp,omitempty"`
+	State       State              `json:"state"`
+	Trials      int64              `json:"trials_completed"`
+	FromCache   bool               `json:"from_cache"`
+	Error       string             `json:"error,omitempty"`
+	SubmittedAt time.Time          `json:"submitted_at"`
+	StartedAt   *time.Time         `json:"started_at,omitempty"`
+	FinishedAt  *time.Time         `json:"finished_at,omitempty"`
 }
 
 // View snapshots the job for API responses.
@@ -92,6 +94,8 @@ func (j *Job) View() View {
 		Experiment:  j.req.Experiment,
 		Seed:        j.req.Seed,
 		Quick:       j.req.Quick,
+		Model:       j.req.Model,
+		MP:          j.req.MP,
 		State:       j.state,
 		Trials:      j.trials.Load(),
 		FromCache:   j.fromCache,

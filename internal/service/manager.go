@@ -132,6 +132,9 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	if _, ok := m.opts.Lookup(req.Experiment); !ok {
 		return nil, fmt.Errorf("unknown experiment %q", req.Experiment)
 	}
+	if err := req.validateModel(); err != nil {
+		return nil, err
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -293,6 +296,8 @@ func runDriver(ctx context.Context, e experiments.Experiment, job *Job) (p *Payl
 	cfg := experiments.Config{
 		Seed:     job.req.Seed,
 		Quick:    job.req.Quick,
+		Model:    job.req.Model,
+		MP:       job.req.MP,
 		Progress: func() { job.trials.Add(1) },
 	}
 	res, meta, err := experiments.Run(ctx, e, cfg)

@@ -1,0 +1,160 @@
+package service
+
+// Tests for the availability-model exposure: the GET /models registry
+// endpoints, model-aware request canonicalization and validation, and the
+// golden determinism of E15–E17 served through the LRU cache.
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/avail"
+)
+
+func TestModelsEndpoint(t *testing.T) {
+	a := newAPI(t, Options{Workers: 1})
+	var models []avail.Builder
+	if status, _ := a.do("GET", "/models", nil, &models); status != http.StatusOK {
+		t.Fatalf("GET /models → %d", status)
+	}
+	if len(models) != len(avail.Names()) {
+		t.Fatalf("GET /models returned %d entries, registry has %d", len(models), len(avail.Names()))
+	}
+	byName := map[string]avail.Builder{}
+	for _, b := range models {
+		byName[b.Name] = b
+	}
+	for _, want := range []string{"uniform", "markov", "pt", "pt-burst", "geometric"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("GET /models missing %q", want)
+		}
+	}
+	if !byName["geometric"].Scenario || len(byName["markov"].Knobs) != 2 {
+		t.Fatalf("model metadata wrong: %+v %+v", byName["geometric"], byName["markov"])
+	}
+
+	var one avail.Builder
+	if status, _ := a.do("GET", "/models/MARKOV", nil, &one); status != http.StatusOK || one.Name != "markov" {
+		t.Fatalf("GET /models/MARKOV: %d %+v", status, one)
+	}
+	if status, _ := a.do("GET", "/models/nope", nil, nil); status != http.StatusNotFound {
+		t.Fatalf("GET /models/nope → %d, want 404", status)
+	}
+}
+
+func TestRequestKeyModelFields(t *testing.T) {
+	// Requests without model fields keep the pre-model key shape.
+	plain := Request{Experiment: "e15", Seed: 1, Quick: true}
+	if key := plain.Key(); key != "E15|seed=1|quick=true" {
+		t.Fatalf("plain key = %q", key)
+	}
+	// Empty MP canonicalizes away.
+	if key := (Request{Experiment: "E15", Seed: 1, Quick: true, MP: map[string]float64{}}).Key(); key != plain.Key() {
+		t.Fatalf("empty-MP key %q differs from plain %q", key, plain.Key())
+	}
+	// Model name canonicalizes; MP serializes in sorted order.
+	a := Request{Experiment: "E16", Seed: 2, Model: " PT-Burst ",
+		MP: map[string]float64{"width": 0.3, "high": 0.9}}
+	b := Request{Experiment: "e16", Seed: 2, Model: "pt-burst",
+		MP: map[string]float64{"high": 0.9, "width": 0.3}}
+	if a.Key() != b.Key() {
+		t.Fatalf("equivalent requests key differently: %q vs %q", a.Key(), b.Key())
+	}
+	if want := "E16|seed=2|quick=false|model=pt-burst|mp=high=0.9,width=0.3"; a.Key() != want {
+		t.Fatalf("model key = %q, want %q", a.Key(), want)
+	}
+	// Different parameters must not collide.
+	c := Request{Experiment: "E16", Seed: 2, Model: "pt-burst", MP: map[string]float64{"high": 0.8, "width": 0.3}}
+	if a.Key() == c.Key() {
+		t.Fatal("distinct MP values share a cache key")
+	}
+}
+
+func TestSubmitRejectsBadModel(t *testing.T) {
+	m := New(Options{Workers: 1})
+	defer m.Close()
+	if _, err := m.Submit(Request{Experiment: "E16", Model: "no-such-model"}); err == nil {
+		t.Fatal("unknown model must be rejected at submit")
+	}
+	if _, err := m.Submit(Request{Experiment: "E16", Model: "markov",
+		MP: map[string]float64{"alpha": 0.1}}); err == nil {
+		t.Fatal("unknown model parameter must be rejected at submit")
+	}
+	if _, err := m.Submit(Request{Experiment: "E16", Model: " PT "}); err != nil {
+		t.Fatalf("canonicalizable model name rejected: %v", err)
+	}
+	// Model-less MP overrides target driver defaults; names no registered
+	// model declares must still be rejected, never silently ignored.
+	if _, err := m.Submit(Request{Experiment: "E15",
+		MP: map[string]float64{"runlne": 6}}); err == nil {
+		t.Fatal("unknown bare MP name must be rejected at submit")
+	}
+	if _, err := m.Submit(Request{Experiment: "E15",
+		MP: map[string]float64{"runlen": 6}}); err != nil {
+		t.Fatalf("valid bare MP name rejected: %v", err)
+	}
+}
+
+// TestModelDriversCachedBitIdentical is the service half of the golden
+// determinism satellite: each of E15–E17, submitted twice with identical
+// model parameters, is served the second time from the LRU cache with a
+// byte-identical JSON payload; a request differing only in MP computes
+// fresh.
+func TestModelDriversCachedBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real drivers")
+	}
+	a := newAPI(t, Options{Workers: 2})
+	reqs := []Request{
+		{Experiment: "E15", Seed: 2014, Quick: true, MP: map[string]float64{"runlen": 3}},
+		{Experiment: "E16", Seed: 2014, Quick: true, Model: "pt-burst"},
+		{Experiment: "E17", Seed: 2014, Quick: true},
+	}
+	for _, req := range reqs {
+		var first View
+		if status, body := a.do("POST", "/jobs", req, &first); status != http.StatusAccepted {
+			t.Fatalf("%s: POST /jobs → %d (%s)", req.Experiment, status, body)
+		}
+		done := a.waitDone(first.ID, StateDone)
+		if done.FromCache {
+			t.Fatalf("%s: first run claims cache", req.Experiment)
+		}
+		if req.Model != "" && done.Model != req.Model {
+			t.Fatalf("%s: view lost the model: %+v", req.Experiment, done)
+		}
+		_, result1 := a.do("GET", "/jobs/"+first.ID+"/result?format=json", nil, nil)
+
+		var second View
+		if status, _ := a.do("POST", "/jobs", req, &second); status != http.StatusOK {
+			t.Fatalf("%s: cached POST /jobs → %d, want 200", req.Experiment, status)
+		}
+		if !second.FromCache {
+			t.Fatalf("%s: resubmit not served from cache", req.Experiment)
+		}
+		_, result2 := a.do("GET", "/jobs/"+second.ID+"/result?format=json", nil, nil)
+		if !bytes.Equal(result1, result2) {
+			t.Fatalf("%s: cached payload differs from computed payload", req.Experiment)
+		}
+	}
+
+	// Same experiment, different model parameters: distinct cache entry.
+	var other View
+	perturbed := Request{Experiment: "E15", Seed: 2014, Quick: true, MP: map[string]float64{"runlen": 5}}
+	if status, _ := a.do("POST", "/jobs", perturbed, &other); status != http.StatusAccepted {
+		t.Fatal("perturbed MP should compute fresh, not hit the cache")
+	}
+	done := a.waitDone(other.ID, StateDone)
+	if done.FromCache {
+		t.Fatal("perturbed MP served from cache")
+	}
+	// Its rendered markdown must actually differ from the runlen=3 run.
+	var v View
+	a.do("POST", "/jobs", reqs[0], &v)
+	_, md3 := a.do("GET", "/jobs/"+v.ID+"/result?format=md", nil, nil)
+	_, md5 := a.do("GET", "/jobs/"+other.ID+"/result?format=md", nil, nil)
+	if strings.TrimSpace(string(md3)) == strings.TrimSpace(string(md5)) {
+		t.Fatal("different runlen produced identical results")
+	}
+}

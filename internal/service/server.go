@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"repro/internal/avail"
 )
 
 // ExperimentInfo is the registry metadata served by GET /experiments.
@@ -20,6 +22,8 @@ type ExperimentInfo struct {
 //	GET    /stats                      Stats snapshot (cache hit rate, in-flight, …)
 //	GET    /experiments                registry metadata
 //	GET    /experiments/{id}           one registry entry
+//	GET    /models                     availability-model registry (internal/avail)
+//	GET    /models/{name}              one model with its parameter knobs
 //	POST   /jobs                       submit a Request; 200 on cache hit, 202 when queued
 //	GET    /jobs                       all jobs in submission order
 //	GET    /jobs/{id}                  job status with live trial progress
@@ -55,6 +59,19 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, ExperimentInfo{ID: e.ID, Title: e.Title, Anchor: e.Anchor})
+	})
+
+	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, avail.Builders())
+	})
+
+	mux.HandleFunc("GET /models/{name}", func(w http.ResponseWriter, r *http.Request) {
+		b, ok := avail.Lookup(r.PathValue("name"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, "unknown model %q", r.PathValue("name"))
+			return
+		}
+		writeJSON(w, http.StatusOK, b)
 	})
 
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {

@@ -1,19 +1,25 @@
 // Package service turns the experiment registry into a long-running,
-// concurrent, cache-backed system: a job manager running E1–E14 drivers on
+// concurrent, cache-backed system: a job manager running E1–E17 drivers on
 // a bounded worker pool (reusing internal/sim's determinism contract, so a
 // job's numbers depend only on its request), an LRU result cache keyed by
 // the canonicalized (experiment, Config) pair, and structured JSON/CSV/
 // Markdown encodings of results. server.go exposes it over HTTP; cmd/serve
 // is the binary.
 //
-// Because every driver is a pure function of (ID, Seed, Quick), identical
-// requests are served from cache without recomputation and cached payloads
-// are bit-identical to freshly computed ones.
+// Because every driver is a pure function of (ID, Seed, Quick, Model, MP),
+// identical requests are served from cache without recomputation and cached
+// payloads are bit-identical to freshly computed ones. The availability-
+// model registry (internal/avail) is exposed read-only at GET /models, and
+// requests may carry a model name plus parameter overrides for the
+// model-aware drivers E15–E17.
 package service
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+
+	"repro/internal/avail"
 )
 
 // Request identifies one experiment computation. It is the cache key
@@ -26,17 +32,67 @@ type Request struct {
 	Seed uint64 `json:"seed"`
 	// Quick selects bench/CI scale instead of the full paper scale.
 	Quick bool `json:"quick"`
+	// Model optionally names an availability model (see GET /models) for
+	// the model-aware drivers; empty means the driver's default sweep.
+	Model string `json:"model,omitempty"`
+	// MP optionally overrides availability-model parameters by name.
+	// Unknown names are rejected at submit.
+	MP map[string]float64 `json:"mp,omitempty"`
 }
 
 // Canonical returns the request with the experiment id trimmed and
-// upper-cased, so "e1 " and "E1" share a cache entry.
+// upper-cased and the model name trimmed and lower-cased, so "e1 " and
+// "E1" (and " Markov") share a cache entry. An empty MP map canonicalizes
+// to nil.
 func (r Request) Canonical() Request {
 	r.Experiment = strings.ToUpper(strings.TrimSpace(r.Experiment))
+	r.Model = strings.ToLower(strings.TrimSpace(r.Model))
+	if len(r.MP) == 0 {
+		r.MP = nil
+	}
 	return r
 }
 
-// Key is the canonical cache key of the request.
+// Key is the canonical cache key of the request. Requests without model
+// fields keep their pre-model key shape, so existing cache entries remain
+// addressable; model fields append deterministically (MP in sorted name
+// order).
 func (r Request) Key() string {
 	c := r.Canonical()
-	return fmt.Sprintf("%s|seed=%d|quick=%t", c.Experiment, c.Seed, c.Quick)
+	key := fmt.Sprintf("%s|seed=%d|quick=%t", c.Experiment, c.Seed, c.Quick)
+	if c.Model != "" {
+		key += "|model=" + c.Model
+	}
+	if len(c.MP) > 0 {
+		names := make([]string, 0, len(c.MP))
+		for name := range c.MP {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		key += "|mp="
+		for i, name := range names {
+			if i > 0 {
+				key += ","
+			}
+			key += fmt.Sprintf("%s=%g", name, c.MP[name])
+		}
+	}
+	return key
+}
+
+// validateModel rejects model names absent from the avail registry and
+// parameter names no model declares: with a named model MP must match its
+// knobs; without one MP targets the drivers' default models, so names are
+// checked against the union of all registered knobs. Rejecting unknown
+// names at submit keeps silent-default runs and junk out of cache keys.
+func (r Request) validateModel() error {
+	if r.Model != "" {
+		if _, ok := avail.Lookup(r.Model); !ok {
+			return fmt.Errorf("unknown model %q (see GET /models)", r.Model)
+		}
+	}
+	if err := avail.ValidateKnobs(r.Model, r.MP); err != nil {
+		return fmt.Errorf("%v (see GET /models)", err)
+	}
+	return nil
 }
