@@ -2,11 +2,12 @@
 # the kernel benchmark trajectory as BENCH_kernels.json (see ci.yml).
 
 GO        ?= go
-BENCH     ?= BenchmarkKernel
+BENCH     ?= BenchmarkKernel|BenchmarkSweep
 BENCHTIME ?= 1s
-# COVER_MIN is the pre-PR-3 total-coverage baseline; `make cover` fails if
-# the tree drops below it. Raise it when coverage durably improves.
-COVER_MIN ?= 83.3
+# COVER_MIN is the post-PR-4 total-coverage baseline (84.3% measured,
+# floored with a small margin for run-to-run wobble); `make cover` fails
+# if the tree drops below it. Raise it when coverage durably improves.
+COVER_MIN ?= 84.0
 
 .PHONY: all build test test-race cover vet fmt bench clean
 

@@ -6,15 +6,20 @@ package repro
 // experiment leans on. EXPERIMENTS.md records the full-scale outputs.
 
 import (
+	"context"
+	"math"
 	"strconv"
 	"testing"
 
 	"repro/internal/assign"
+	"repro/internal/avail"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/phonecall"
 	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/temporal"
 )
 
@@ -243,5 +248,135 @@ func BenchmarkKernelGnpSparse(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		graph.Gnp(4096, 0.002, false, r)
+	}
+}
+
+// --- sweep-engine micro-benchmarks --------------------------------------
+//
+// BenchmarkSweep* tracks the adaptive estimation subsystem in
+// BENCH_kernels.json alongside the kernels (make bench matches
+// BenchmarkKernel|BenchmarkSweep). The overhead/baseline pair isolates
+// what the CI-driven loop costs on top of a fixed-trial run of the same
+// trial budget.
+
+// cheapObs is a near-free Bernoulli observable: the benchmark then
+// measures harness machinery, not the trial body.
+func cheapObs(trial int, r *rng.Stream) float64 {
+	if r.Bernoulli(0.5) {
+		return 1
+	}
+	return 0
+}
+
+// BenchmarkSweepAdaptiveOverhead runs the adaptive loop to its trial cap
+// (the precision is unmeetable), so every iteration spends exactly 512
+// trials plus the batching, folding and interval logic around them.
+func BenchmarkSweepAdaptiveOverhead(b *testing.B) {
+	b.ReportAllocs()
+	trials := 0
+	for i := 0; i < b.N; i++ {
+		a := sweep.Adaptive{
+			Seed: uint64(i) + 1,
+			Kind: sweep.Proportion,
+			Prec: sweep.Precision{Abs: 1e-9, MaxTrials: 512, Batch: 32},
+		}
+		est, err := a.Estimate(context.Background(), cheapObs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		trials += est.N
+	}
+	b.ReportMetric(float64(trials)/float64(b.N), "trials/op")
+}
+
+// BenchmarkSweepFixedBaseline is the same 512-trial budget through the
+// plain Monte-Carlo harness: the delta against AdaptiveOverhead is the
+// adaptive machinery's cost.
+func BenchmarkSweepFixedBaseline(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim.Runner{Trials: 512, Seed: uint64(i) + 1}.Run(func(trial int, r *rng.Stream) sim.Metrics {
+			return sim.Metrics{"x": cheapObs(trial, r)}
+		})
+	}
+}
+
+// BenchmarkSweepAdaptiveEarlyStop converges at ~±0.05 instead of running
+// to the cap — the win adaptive stopping buys over a conservative fixed
+// trial count.
+func BenchmarkSweepAdaptiveEarlyStop(b *testing.B) {
+	b.ReportAllocs()
+	trials := 0
+	for i := 0; i < b.N; i++ {
+		a := sweep.Adaptive{
+			Seed: uint64(i) + 1,
+			Kind: sweep.Proportion,
+			Prec: sweep.Precision{Abs: 0.05, MaxTrials: 4096, Batch: 32},
+		}
+		est, err := a.Estimate(context.Background(), cheapObs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		trials += est.N
+	}
+	b.ReportMetric(float64(trials)/float64(b.N), "trials/op")
+}
+
+// BenchmarkSweepThresholdBisect locates a crossing of a synthetic steep
+// response with adaptive estimates at every probe — the full threshold
+// stack end to end.
+func BenchmarkSweepThresholdBisect(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		eval := func(x float64) (float64, error) {
+			a := sweep.Adaptive{
+				Seed: seed,
+				Kind: sweep.Proportion,
+				Prec: sweep.Precision{Abs: 0.1, MaxTrials: 256, Batch: 32},
+			}
+			est, err := a.Estimate(context.Background(), func(trial int, r *rng.Stream) float64 {
+				p := 1 / (1 + math.Exp(-(x-0.4)/0.05))
+				if r.Bernoulli(p) {
+					return 1
+				}
+				return 0
+			})
+			return est.Point, err
+		}
+		cr, err := sweep.Threshold{Target: 0.5, Lo: 0, Hi: 1, Tol: 0.02}.Find(eval)
+		if err != nil || !cr.Converged {
+			b.Fatalf("bisect failed: %v %+v", err, cr)
+		}
+	}
+}
+
+// BenchmarkSweepE18CellQuick is one real sweep cell at E18 quick scale: a
+// markov-labeled directed clique estimated to ±0.12 — the unit the
+// connectivity-threshold experiment spends.
+func BenchmarkSweepE18CellQuick(b *testing.B) {
+	g := graph.Clique(32, true)
+	m, err := avail.NewMarkov(32, 0.05, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := sweep.Adaptive{
+			Seed: uint64(i) + 1,
+			Kind: sweep.Proportion,
+			Prec: sweep.Precision{Abs: 0.12, MinTrials: 8, MaxTrials: 96, Batch: 16},
+		}
+		_, err := a.Estimate(context.Background(), func(trial int, r *rng.Stream) float64 {
+			net := avail.Network(m, g, r)
+			if temporal.SatisfiesTreachSerial(net, nil) {
+				return 1
+			}
+			return 0
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }

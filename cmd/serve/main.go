@@ -1,5 +1,6 @@
 // Command serve runs the experiment service: a JSON HTTP API over the
-// E1–E14 drivers with a bounded worker pool and an LRU result cache.
+// E1–E18 drivers and the adaptive sweep engine, with a bounded worker
+// pool and an LRU result cache.
 //
 // Usage:
 //
@@ -8,16 +9,21 @@
 // Endpoints (see internal/service.NewHandler):
 //
 //	GET  /experiments               registry metadata
+//	GET  /models                    availability-model registry
 //	POST /jobs                      {"experiment":"E1","seed":2014,"quick":true}
 //	GET  /jobs/{id}                 status + live trial progress
 //	GET  /jobs/{id}/result?format=json|csv|md
 //	POST /jobs/{id}/cancel          cancel an in-flight job
+//	POST /sweeps                    adaptive grid sweep (SweepRequest)
+//	GET  /sweeps/{id}               sweep status + per-cell progress
+//	GET  /sweeps/{id}/result?format=json|csv|md
 //	GET  /healthz                   liveness
-//	GET  /stats                     jobs run, cache hit rate, in-flight count
+//	GET  /stats                     jobs run, cache hit rate, duration p50/p95
 //
-// Determinism makes the cache sound: a job's numbers depend only on
-// (experiment, seed, quick), so repeated submissions are served from cache
-// bit-identically.
+// Determinism makes the cache sound: a job's numbers depend only on its
+// canonical request — experiment (id, seed, quick, model, mp) or sweep
+// (model, grid, precision, metric, seed) — so repeated submissions are
+// served from cache bit-identically.
 package main
 
 import (

@@ -35,16 +35,27 @@
 //	                     scenario, all bit-deterministic per stream
 //	internal/rng         deterministic splittable randomness
 //	internal/sim         parallel Monte-Carlo harness
-//	internal/stats       samples, confidence intervals, regression, and
+//	internal/stats       samples, streaming Welford estimators, Wilson and
+//	                     Student-t confidence intervals, regression, and
 //	                     chi-square goodness-of-fit machinery
+//	internal/sweep       adaptive estimation engine: CI-driven Monte-Carlo
+//	                     trial loops that stop at a requested precision,
+//	                     threshold bisection over monotone responses, and
+//	                     resumable parameter grids with JSON checkpoints —
+//	                     bit-deterministic for any worker count and across
+//	                     checkpoint/resume splits
 //	internal/table       ASCII/CSV/Markdown/JSON tables and ASCII plots
-//	internal/experiments experiment drivers E1–E17 (see DESIGN.md), plus the
-//	                     context-aware Run wrapper with per-trial progress
+//	internal/experiments experiment drivers E1–E18 (see DESIGN.md), the
+//	                     context-aware Run wrapper with per-trial progress,
+//	                     and the SweepTarget bridge from sweep specs to
+//	                     availability-model measurements
 //	internal/service     experiment service: job manager over a bounded
-//	                     worker pool, LRU result cache keyed by
-//	                     (experiment, Config), JSON HTTP API
+//	                     worker pool, LRU result cache keyed by the
+//	                     canonical request (experiment Config or sweep
+//	                     spec), JSON HTTP API
 //	cmd/...              command-line tools; cmd/serve runs the HTTP
-//	                     service; examples/... runnable examples
+//	                     service; cmd/sweep runs adaptive sweeps and
+//	                     threshold searches; examples/... runnable examples
 //
 // The experiment service (internal/service + cmd/serve) turns the one-shot
 // drivers into a long-running system: jobs are submitted, tracked and

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sweep"
+)
+
+// TestE18BitIdenticalAcrossWorkers pins the acceptance contract: the
+// adaptive estimates, the bisection path, and therefore every rendered
+// character must be independent of the worker count.
+func TestE18BitIdenticalAcrossWorkers(t *testing.T) {
+	e, ok := ByID("E18")
+	if !ok {
+		t.Fatal("E18 not registered")
+	}
+	want := renderAll(e.Run(Config{Seed: 42, Quick: true, Workers: 1}))
+	if want == "" {
+		t.Fatal("E18: empty render")
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0), 0} {
+		got := renderAll(e.Run(Config{Seed: 42, Quick: true, Workers: workers}))
+		if got != want {
+			t.Fatalf("E18: output with Workers=%d differs from Workers=1", workers)
+		}
+	}
+}
+
+// TestE18SweepResumeSplitBitIdentical runs E18's actual grid sweep (the
+// iid family at quick scale) to completion, then re-runs it interrupted
+// after two cells with the checkpoint round-tripped through JSON — the
+// resumed union must match the uninterrupted run bit-for-bit, cell by
+// cell.
+func TestE18SweepResumeSplitBitIdentical(t *testing.T) {
+	ns := []int{32, 48}
+	cs := []float64{0.05, 0.15, 0.4, 1}
+	cliques := map[int]*graph.Graph{}
+	for _, n := range ns {
+		cliques[n] = graph.Clique(n, true)
+	}
+	fam := e18Models(4)[0]
+	obs := e18Observable(cliques, fam.mk)
+	mkSweep := func(workers int) sweep.Sweep {
+		return sweep.Sweep{
+			Grid:    e18Grid(ns, cs),
+			Kind:    sweep.Proportion,
+			Prec:    e18Prec(true),
+			Seed:    sweep.CellSeed(42, 1000),
+			Workers: workers,
+		}
+	}
+
+	full, err := mkSweep(1).Run(context.Background(), nil, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Cells) != len(ns)*len(cs) {
+		t.Fatalf("full sweep completed %d cells", len(full.Cells))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s := mkSweep(4)
+	done := 0
+	s.OnCell = func(sweep.Cell) {
+		done++
+		if done == 2 {
+			cancel()
+		}
+	}
+	half, err := s.Run(ctx, nil, obs)
+	if err == nil {
+		t.Fatal("expected cancellation on the first leg")
+	}
+	if len(half.Cells) != 2 {
+		t.Fatalf("first leg completed %d cells, want 2", len(half.Cells))
+	}
+
+	var buf bytes.Buffer
+	if err := half.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := sweep.DecodeCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := mkSweep(2).Run(context.Background(), loaded, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(resumed.Cells) != len(full.Cells) {
+		t.Fatalf("resumed %d cells, full %d", len(resumed.Cells), len(full.Cells))
+	}
+	for i := range full.Cells {
+		if resumed.Cells[i].Index != full.Cells[i].Index ||
+			resumed.Cells[i].Est != full.Cells[i].Est {
+			t.Fatalf("cell %d differs after resume:\n got %+v\nwant %+v",
+				i, resumed.Cells[i], full.Cells[i])
+		}
+	}
+}
+
+// TestE18PrecisionMet pins the headline acceptance number: every
+// threshold-row Wilson CI at c* meets the requested half-width.
+func TestE18PrecisionMet(t *testing.T) {
+	e, _ := ByID("E18")
+	res := e.Run(Config{Seed: 2014, Quick: true})
+	if len(res.Tables) != 2 {
+		t.Fatalf("E18 produced %d tables", len(res.Tables))
+	}
+	thr := res.Tables[1]
+	if len(thr.Rows) == 0 {
+		t.Fatal("no threshold rows")
+	}
+	prec := e18Prec(true)
+	for _, row := range thr.Rows {
+		// Columns: model, n, c*, lo, hi, p*, P, ±CI, trials, evals, converged.
+		half, err := strconv.ParseFloat(row[7], 64)
+		if err != nil {
+			t.Fatalf("bad CI cell %q: %v", row[7], err)
+		}
+		if half > prec.Abs {
+			t.Errorf("row %v: CI half-width %v above requested %v", row, half, prec.Abs)
+		}
+		if row[10] != "true" {
+			t.Errorf("row %v: not converged", row)
+		}
+	}
+}

@@ -114,6 +114,7 @@ func All() []Experiment {
 		{"E15", "Markov on/off links: diameter vs persistence", "Correlated availability (Díaz–Mitsche–Pérez gap)", E15MarkovDiameter},
 		{"E16", "Time-varying p(t): connectivity vs schedule shape", "Time-dependent availability (§1.2 contrast)", E16TimeVarying},
 		{"E17", "Dynamic geometric scenario: radius threshold", "Dynamic random geometric graphs (PAPERS.md)", E17Geometric},
+		{"E18", "Adaptive connectivity-threshold estimation: c* in p = c·ln n/n", "Connectivity threshold, as a measured quantity (internal/sweep)", E18ConnectivityThreshold},
 	}
 }
 

@@ -15,8 +15,8 @@ func quickCfg() Config { return Config{Seed: 12345, Quick: true} }
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("registered %d experiments, want 17", len(all))
+	if len(all) != 18 {
+		t.Fatalf("registered %d experiments, want 18", len(all))
 	}
 	seen := map[string]bool{}
 	for i, e := range all {

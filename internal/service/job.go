@@ -25,10 +25,16 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
-// Job is one submitted experiment computation tracked by the Manager.
+// Job is one submitted computation — an experiment run or a parameter
+// sweep — tracked by the Manager. Sweep jobs carry sweepReq and report
+// per-cell progress alongside per-trial progress.
 type Job struct {
 	id  string
 	req Request
+
+	sweepReq   *SweepRequest // nil for experiment jobs
+	cells      atomic.Int64  // completed sweep cells, updated live
+	cellsTotal int
 
 	trials atomic.Int64 // completed Monte-Carlo trials, updated live
 	ctx    context.Context
@@ -68,22 +74,33 @@ func (j *Job) Payload() (*Payload, bool) {
 	return j.payload, true
 }
 
-// View is the JSON rendering of a job's status.
+// View is the JSON rendering of a job's status. Sweep jobs additionally
+// carry the sweep request and live per-cell progress (cells_done out of
+// cells_total), the streaming-progress surface GET /sweeps/{id} polls.
 type View struct {
-	ID          string             `json:"id"`
-	Experiment  string             `json:"experiment"`
-	Seed        uint64             `json:"seed"`
-	Quick       bool               `json:"quick"`
-	Model       string             `json:"model,omitempty"`
-	MP          map[string]float64 `json:"mp,omitempty"`
-	State       State              `json:"state"`
-	Trials      int64              `json:"trials_completed"`
-	FromCache   bool               `json:"from_cache"`
-	Error       string             `json:"error,omitempty"`
-	SubmittedAt time.Time          `json:"submitted_at"`
-	StartedAt   *time.Time         `json:"started_at,omitempty"`
-	FinishedAt  *time.Time         `json:"finished_at,omitempty"`
+	ID         string             `json:"id"`
+	Experiment string             `json:"experiment"`
+	Seed       uint64             `json:"seed"`
+	Quick      bool               `json:"quick"`
+	Model      string             `json:"model,omitempty"`
+	MP         map[string]float64 `json:"mp,omitempty"`
+	// CellsDone is a pointer so a sweep that has not finished its first
+	// cell still serializes "cells_done":0 alongside cells_total, while
+	// experiment jobs omit both fields entirely.
+	Sweep       *SweepRequest `json:"sweep,omitempty"`
+	CellsDone   *int64        `json:"cells_done,omitempty"`
+	CellsTotal  int           `json:"cells_total,omitempty"`
+	State       State         `json:"state"`
+	Trials      int64         `json:"trials_completed"`
+	FromCache   bool          `json:"from_cache"`
+	Error       string        `json:"error,omitempty"`
+	SubmittedAt time.Time     `json:"submitted_at"`
+	StartedAt   *time.Time    `json:"started_at,omitempty"`
+	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
 }
+
+// IsSweep reports whether the job runs a parameter sweep.
+func (j *Job) IsSweep() bool { return j.sweepReq != nil }
 
 // View snapshots the job for API responses.
 func (j *Job) View() View {
@@ -101,6 +118,12 @@ func (j *Job) View() View {
 		FromCache:   j.fromCache,
 		Error:       j.err,
 		SubmittedAt: j.submitted,
+	}
+	if j.sweepReq != nil {
+		v.Sweep = j.sweepReq
+		cells := j.cells.Load()
+		v.CellsDone = &cells
+		v.CellsTotal = j.cellsTotal
 	}
 	if !j.started.IsZero() {
 		t := j.started

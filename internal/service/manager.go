@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/stats"
 )
 
 // ErrShuttingDown is returned by Submit after Close; match with errors.Is.
@@ -72,6 +73,7 @@ type Manager struct {
 	opts  Options
 	cache *Cache
 	queue chan *Job
+	now   func() time.Time // injectable for timestamp-dependent tests
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -98,6 +100,7 @@ func New(opts Options) *Manager {
 		opts:       opts,
 		cache:      NewCache(opts.CacheSize),
 		queue:      make(chan *Job, opts.QueueDepth),
+		now:        time.Now,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
@@ -146,7 +149,7 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		id:        fmt.Sprintf("j%d", m.nextID),
 		req:       req,
 		state:     StateQueued,
-		submitted: time.Now(),
+		submitted: m.now(),
 	}
 
 	if p, ok := m.cache.Get(req.Key()); ok {
@@ -154,7 +157,7 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		job.fromCache = true
 		job.payload = p
 		job.trials.Store(int64(p.Meta.Trials))
-		job.finished = time.Now()
+		job.finished = m.now()
 		m.fromCache++
 		m.register(job)
 		return job, nil
@@ -227,7 +230,7 @@ func (m *Manager) Cancel(id string) error {
 		// The worker that eventually pops it will see the cancelled state
 		// and skip; settle it now so the API reflects the cancel at once.
 		job.state = StateCancelled
-		job.finished = time.Now()
+		job.finished = m.now()
 		job.mu.Unlock()
 		m.cancelled.Add(1)
 	} else {
@@ -256,8 +259,13 @@ func (m *Manager) runJob(job *Job) {
 		return
 	}
 	job.state = StateRunning
-	job.started = time.Now()
+	job.started = m.now()
 	job.mu.Unlock()
+
+	if job.sweepReq != nil {
+		m.runSweepJob(job)
+		return
+	}
 
 	e, ok := m.opts.Lookup(job.req.Experiment)
 	if !ok {
@@ -317,7 +325,7 @@ func (m *Manager) settle(job *Job, state State, payload *Payload, errMsg string)
 	job.state = state
 	job.payload = payload
 	job.err = errMsg
-	job.finished = time.Now()
+	job.finished = m.now()
 	job.mu.Unlock()
 	switch state {
 	case StateDone:
@@ -345,6 +353,14 @@ type Stats struct {
 	CacheHits     uint64  `json:"cache_hits"`
 	CacheMisses   uint64  `json:"cache_misses"`
 	CacheHitRate  float64 `json:"cache_hit_rate"`
+	// DurationP50Ms and DurationP95Ms are wall-clock run-duration
+	// percentiles (milliseconds) over the terminal jobs still in history
+	// that actually ran — cache hits and cancelled-while-queued jobs never
+	// started, so they are excluded. Sweep-sized jobs run orders of
+	// magnitude longer than cached lookups; the p95 is what makes them
+	// observable. 0 when no job has finished yet.
+	DurationP50Ms float64 `json:"job_duration_p50_ms"`
+	DurationP95Ms float64 `json:"job_duration_p95_ms"`
 }
 
 // Stats returns the current counters. InFlight counts tracked jobs that
@@ -385,5 +401,19 @@ func (m *Manager) Stats() Stats {
 	if total := hits + misses; total > 0 {
 		s.CacheHitRate = float64(hits) / float64(total)
 	}
+	s.DurationP50Ms, s.DurationP95Ms = durationPercentiles(jobDurations(jobs))
 	return s
+}
+
+// durationPercentiles returns the (p50, p95) of the durations in
+// milliseconds, 0s when empty.
+func durationPercentiles(ds []time.Duration) (p50, p95 float64) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	var sample stats.Sample
+	for _, d := range ds {
+		sample.Add(float64(d) / float64(time.Millisecond))
+	}
+	return sample.Quantile(0.50), sample.Quantile(0.95)
 }

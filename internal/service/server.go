@@ -30,6 +30,14 @@ type ExperimentInfo struct {
 //	GET    /jobs/{id}/result?format=F  completed result; F ∈ {json, csv, md}
 //	POST   /jobs/{id}/cancel           cancel a queued or running job
 //	DELETE /jobs/{id}                  alias for cancel
+//	POST   /sweeps                     submit a SweepRequest (adaptive grid sweep)
+//	GET    /sweeps                     sweep jobs in submission order
+//	GET    /sweeps/{id}                sweep status with per-cell + per-trial progress
+//	GET    /sweeps/{id}/result?format=F  completed sweep result
+//
+// Sweep jobs share the job id space, the worker pool and the result
+// cache with experiment jobs, so /jobs/{id} and cancel work on them too;
+// the /sweeps views just reject non-sweep ids.
 //
 // Errors are {"error": "..."} with conventional status codes.
 func NewHandler(m *Manager) http.Handler {
@@ -114,12 +122,9 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, job.View())
 	})
 
-	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
-		job, ok := m.Get(r.PathValue("id"))
-		if !ok {
-			writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
-			return
-		}
+	// serveResult renders a done job's payload in the requested format;
+	// shared by the /jobs and /sweeps result endpoints.
+	serveResult := func(w http.ResponseWriter, r *http.Request, job *Job) {
 		payload, ok := job.Payload()
 		if !ok {
 			writeErr(w, http.StatusConflict, "job %s is %s, result available only when done",
@@ -134,6 +139,68 @@ func NewHandler(m *Manager) http.Handler {
 		w.Header().Set("Content-Type", contentType)
 		w.WriteHeader(http.StatusOK)
 		w.Write(data)
+	}
+
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+			return
+		}
+		serveResult(w, r, job)
+	})
+
+	mux.HandleFunc("POST /sweeps", func(w http.ResponseWriter, r *http.Request) {
+		var req SweepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		job, err := m.SubmitSweep(req)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrShuttingDown) {
+				status = http.StatusServiceUnavailable
+			}
+			writeErr(w, status, "%v", err)
+			return
+		}
+		status := http.StatusAccepted
+		if job.State() == StateDone {
+			status = http.StatusOK // served from cache
+		}
+		writeJSON(w, status, job.View())
+	})
+
+	mux.HandleFunc("GET /sweeps", func(w http.ResponseWriter, r *http.Request) {
+		views := []View{}
+		for _, j := range m.Jobs() {
+			if j.IsSweep() {
+				views = append(views, j.View())
+			}
+		}
+		writeJSON(w, http.StatusOK, views)
+	})
+
+	getSweep := func(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok || !job.IsSweep() {
+			writeErr(w, http.StatusNotFound, "no such sweep %q", r.PathValue("id"))
+			return nil, false
+		}
+		return job, true
+	}
+
+	mux.HandleFunc("GET /sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if job, ok := getSweep(w, r); ok {
+			writeJSON(w, http.StatusOK, job.View())
+		}
+	})
+
+	mux.HandleFunc("GET /sweeps/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		if job, ok := getSweep(w, r); ok {
+			serveResult(w, r, job)
+		}
 	})
 
 	cancel := func(w http.ResponseWriter, r *http.Request) {

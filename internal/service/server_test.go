@@ -93,7 +93,7 @@ func TestExperimentsEndpoint(t *testing.T) {
 	if status, _ := a.do("GET", "/experiments", nil, &infos); status != http.StatusOK {
 		t.Fatalf("GET /experiments → %d", status)
 	}
-	if len(infos) != 17 || infos[0].ID != "E1" || infos[16].ID != "E17" {
+	if len(infos) != 18 || infos[0].ID != "E1" || infos[17].ID != "E18" {
 		t.Fatalf("registry metadata wrong: %+v", infos)
 	}
 	var one ExperimentInfo

@@ -63,19 +63,28 @@ func (r Request) Key() string {
 	if c.Model != "" {
 		key += "|model=" + c.Model
 	}
-	if len(c.MP) > 0 {
-		names := make([]string, 0, len(c.MP))
-		for name := range c.MP {
-			names = append(names, name)
+	key += mpKey(c.MP)
+	return key
+}
+
+// mpKey renders model-parameter overrides canonically (sorted by name)
+// for cache keys, or "" when empty. Request.Key and SweepRequest.Key both
+// use it, so the two key families cannot drift in MP canonicalization.
+func mpKey(mp map[string]float64) string {
+	if len(mp) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(mp))
+	for name := range mp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	key := "|mp="
+	for i, name := range names {
+		if i > 0 {
+			key += ","
 		}
-		sort.Strings(names)
-		key += "|mp="
-		for i, name := range names {
-			if i > 0 {
-				key += ","
-			}
-			key += fmt.Sprintf("%s=%g", name, c.MP[name])
-		}
+		key += fmt.Sprintf("%s=%g", name, mp[name])
 	}
 	return key
 }

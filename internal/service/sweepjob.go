@@ -1,0 +1,259 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+	"repro/internal/table"
+)
+
+// SweepRequest identifies one adaptive parameter-grid sweep (see
+// internal/sweep and experiments.SweepTarget). Like Request it is the
+// cache-key domain: two requests with equal canonical forms produce
+// bit-identical results, so sweeps fold into the same LRU result cache as
+// experiments under a "SWEEP|…" key.
+type SweepRequest struct {
+	// Model names an availability model (GET /models).
+	Model string `json:"model"`
+	// MP holds base model-parameter overrides; knob-named grid axes
+	// override them per cell.
+	MP map[string]float64 `json:"mp,omitempty"`
+	// Graph is the substrate family; empty means dclique.
+	Graph string `json:"graph,omitempty"`
+	// Lifetime fixes the label range when no "lifetime" axis exists;
+	// 0 means lifetime = n.
+	Lifetime int `json:"lifetime,omitempty"`
+	// Metric names the response (experiments.SweepMetrics); empty means
+	// treach.
+	Metric string `json:"metric,omitempty"`
+	// Seed is the sweep seed; cell c runs under sweep.CellSeed(Seed, c).
+	Seed uint64 `json:"seed"`
+	// Grid enumerates the cells: axes named "n", "lifetime", or a model
+	// knob.
+	Grid []sweep.Axis `json:"grid"`
+	// Precision is the per-cell stopping rule; the zero value selects the
+	// defaults (95% confidence, ±0.05, ≤4096 trials).
+	Precision sweep.Precision `json:"precision"`
+}
+
+// Canonical returns the request with names trimmed, lower-cased and
+// defaults filled, so equivalent requests share a cache entry.
+func (r SweepRequest) Canonical() SweepRequest {
+	r.Model = strings.ToLower(strings.TrimSpace(r.Model))
+	r.Graph = strings.ToLower(strings.TrimSpace(r.Graph))
+	if r.Graph == "" {
+		r.Graph = "dclique"
+	}
+	r.Metric = strings.ToLower(strings.TrimSpace(r.Metric))
+	if r.Metric == "" {
+		r.Metric = "treach"
+	}
+	if len(r.MP) == 0 {
+		r.MP = nil
+	}
+	return r
+}
+
+// target is the experiments-side view of the request.
+func (r SweepRequest) target() experiments.SweepTarget {
+	return experiments.SweepTarget{
+		Model: r.Model, MP: r.MP, Graph: r.Graph,
+		Lifetime: r.Lifetime, Metric: r.Metric,
+	}
+}
+
+// spec is the sweep engine configuration the request denotes.
+func (r SweepRequest) spec() sweep.Sweep {
+	return sweep.Sweep{
+		Grid: sweep.Grid{Axes: r.Grid},
+		Kind: r.target().Kind(),
+		Prec: r.Precision,
+		Seed: r.Seed,
+	}
+}
+
+// Key is the canonical cache key: the target fields plus the sweep
+// engine's own spec fingerprint (grid, kind, precision, seed — never
+// Workers), prefixed so sweep and experiment entries cannot collide.
+func (r SweepRequest) Key() string {
+	c := r.Canonical()
+	key := fmt.Sprintf("SWEEP|model=%s|graph=%s|lifetime=%d|metric=%s",
+		c.Model, c.Graph, c.Lifetime, c.Metric)
+	return key + mpKey(c.MP) + "|" + c.spec().SpecKey()
+}
+
+// Server-side resource policy for POST /sweeps: one request may not
+// monopolize a pool worker with an effectively unbounded cell count,
+// per-cell trial budget, or substrate size. Local cmd/sweep runs are the
+// operator's own machine and are capped only by sweep.MaxGridCells.
+const (
+	maxSweepCells     = 4096
+	maxSweepTrials    = 100000  // per cell
+	maxSweepSubstrate = 1 << 14 // largest n / lifetime axis value
+)
+
+// validate rejects malformed sweeps at submit, keeping junk out of the
+// queue and the cache key space (the Request.validateModel contract).
+func (r SweepRequest) validate() error {
+	if err := r.Precision.Validate(); err != nil {
+		return err
+	}
+	if len(r.Grid) == 0 {
+		return fmt.Errorf("sweep needs at least one grid axis")
+	}
+	grid := sweep.Grid{Axes: r.Grid}
+	if err := r.target().Validate(grid); err != nil {
+		return err
+	}
+	if size := grid.Size(); size > maxSweepCells {
+		return fmt.Errorf("sweep grid has %d cells, server cap is %d", size, maxSweepCells)
+	}
+	if r.Precision.MaxTrials > maxSweepTrials {
+		return fmt.Errorf("max_trials %d above server cap %d", r.Precision.MaxTrials, maxSweepTrials)
+	}
+	if r.Lifetime > maxSweepSubstrate {
+		return fmt.Errorf("lifetime %d above server cap %d", r.Lifetime, maxSweepSubstrate)
+	}
+	for _, a := range r.Grid {
+		if a.Name != "n" && a.Name != "lifetime" {
+			continue
+		}
+		for _, v := range a.Values {
+			if v > maxSweepSubstrate {
+				return fmt.Errorf("axis %q value %g above server cap %d", a.Name, v, maxSweepSubstrate)
+			}
+		}
+	}
+	return nil
+}
+
+// SubmitSweep validates and enqueues a sweep. Like Submit, requests whose
+// canonical key is cached complete immediately without touching the queue.
+func (m *Manager) SubmitSweep(req SweepRequest) (*Job, error) {
+	req = req.Canonical()
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrShuttingDown
+	}
+	m.nextID++
+	job := &Job{
+		id:         fmt.Sprintf("j%d", m.nextID),
+		req:        Request{Experiment: "SWEEP", Seed: req.Seed},
+		sweepReq:   &req,
+		cellsTotal: sweep.Grid{Axes: req.Grid}.Size(),
+		state:      StateQueued,
+		submitted:  m.now(),
+	}
+
+	if p, ok := m.cache.Get(req.Key()); ok {
+		job.state = StateDone
+		job.fromCache = true
+		job.payload = p
+		job.trials.Store(int64(p.Meta.Trials))
+		job.cells.Store(int64(job.cellsTotal))
+		job.finished = m.now()
+		m.fromCache++
+		m.register(job)
+		return job, nil
+	}
+
+	job.ctx, job.cancel = context.WithCancel(m.baseCtx)
+	select {
+	case m.queue <- job:
+	default:
+		job.cancel()
+		return nil, fmt.Errorf("job queue full (%d pending)", cap(m.queue))
+	}
+	m.register(job)
+	return job, nil
+}
+
+// runSweepJob executes a sweep job on a pool worker; the job is already in
+// StateRunning. Panics become failures, cancellation becomes the
+// cancelled state — the same settle semantics as experiment jobs.
+func (m *Manager) runSweepJob(job *Job) {
+	ctx := job.ctx
+	if ctx == nil {
+		ctx = m.baseCtx
+	}
+	if job.cancel != nil {
+		defer job.cancel()
+	}
+	payload, runErr := runSweep(ctx, job)
+	switch {
+	case runErr == nil:
+		m.cache.Put(job.sweepReq.Key(), payload)
+		m.settle(job, StateDone, payload, "")
+	case ctx.Err() != nil:
+		m.settle(job, StateCancelled, nil, "")
+	default:
+		m.settle(job, StateFailed, nil, runErr.Error())
+	}
+}
+
+// runSweep runs the sweep under ctx, converting panics into errors.
+func runSweep(ctx context.Context, job *Job) (p *Payload, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, fmt.Errorf("sweep panic: %v", r)
+		}
+	}()
+	req := job.sweepReq
+	obs, err := req.target().Observable()
+	if err != nil {
+		return nil, err
+	}
+	s := req.spec()
+	s.OnTrial = func() { job.trials.Add(1) }
+	s.OnCell = func(sweep.Cell) { job.cells.Add(1) }
+	cp, err := s.Run(ctx, nil, obs)
+	if err != nil {
+		return nil, err
+	}
+	return sweepPayload(*req, cp), nil
+}
+
+// sweepPayload renders a completed sweep as the same Payload shape
+// experiment jobs produce, so the cache, the encoders and the result
+// endpoint serve both uniformly.
+func sweepPayload(req SweepRequest, cp *sweep.Checkpoint) *Payload {
+	tb := sweep.CellTable(
+		fmt.Sprintf("Sweep: %s of %s on %s", req.Metric, req.Model, req.Graph),
+		sweep.Grid{Axes: req.Grid}, cp.Cells)
+	trials := 0
+	for _, cell := range cp.Cells {
+		trials += cell.Est.N
+	}
+	tb.AddNote("spec %s", cp.Spec)
+	meta := experiments.Meta{
+		ID:     "SWEEP",
+		Title:  fmt.Sprintf("adaptive sweep: %s of %s on %s", req.Metric, req.Model, req.Graph),
+		Anchor: "internal/sweep (CI-driven Monte Carlo)",
+		Seed:   req.Seed,
+		Trials: trials,
+	}
+	return NewPayload(meta, experiments.Result{Tables: []*table.Table{tb}})
+}
+
+// jobDurations collects wall-clock run durations of terminal jobs that
+// actually started, in submission order.
+func jobDurations(jobs []*Job) []time.Duration {
+	out := make([]time.Duration, 0, len(jobs))
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.state.Terminal() && !j.started.IsZero() && !j.finished.IsZero() {
+			out = append(out, j.finished.Sub(j.started))
+		}
+		j.mu.Unlock()
+	}
+	return out
+}

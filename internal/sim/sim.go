@@ -62,17 +62,39 @@ func (c Runner) RunContext(ctx context.Context, trial Trial) (*Results, error) {
 	if c.Trials < 0 {
 		panic("sim: negative trial count")
 	}
+	return c.RunFromContext(ctx, 0, c.Trials, trial)
+}
+
+// RunFrom is the batch-resumable entry point: it runs the count trials with
+// global indices start, start+1, …, start+count−1, each under its canonical
+// stream rng.NewStream(Seed, index). Runner.Trials is ignored; the range is
+// the argument. Because per-trial seeds depend only on the global index,
+// RunFrom(0, k) followed by RunFrom(k, m) visits exactly the trials of a
+// single Run with Trials = k+m, and merging the two Results (Results.Merge)
+// reproduces that Run's aggregates bit-identically — the contract the
+// adaptive sweep engine (internal/sweep) extends trial sequences on.
+func (c Runner) RunFrom(start, count int, trial Trial) *Results {
+	res, _ := c.RunFromContext(context.Background(), start, count, trial)
+	return res
+}
+
+// RunFromContext is RunFrom under a context, with RunContext's
+// cancellation and panic semantics.
+func (c Runner) RunFromContext(ctx context.Context, start, count int, trial Trial) (*Results, error) {
+	if start < 0 || count < 0 {
+		panic("sim: negative trial range")
+	}
 	workers := c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > c.Trials {
-		workers = c.Trials
+	if workers > count {
+		workers = count
 	}
 	abort, cancelAbort := context.WithCancel(ctx)
 	defer cancelAbort()
-	perTrial := make([]Metrics, c.Trials)
-	completed := make([]bool, c.Trials)
+	perTrial := make([]Metrics, count)
+	completed := make([]bool, count)
 	var panicOnce sync.Once
 	var panicked any
 	var next int64
@@ -83,7 +105,7 @@ func (c Runner) RunContext(ctx context.Context, trial Trial) (*Results, error) {
 			defer wg.Done()
 			for abort.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1) - 1)
-				if i >= c.Trials {
+				if i >= count {
 					return
 				}
 				func() {
@@ -93,7 +115,8 @@ func (c Runner) RunContext(ctx context.Context, trial Trial) (*Results, error) {
 							cancelAbort()
 						}
 					}()
-					perTrial[i] = trial(i, rng.NewStream(c.Seed, uint64(i)))
+					g := start + i
+					perTrial[i] = trial(g, rng.NewStream(c.Seed, uint64(g)))
 					completed[i] = true
 				}()
 				if completed[i] && c.OnTrial != nil {
@@ -143,6 +166,26 @@ func (c Runner) RunContext(ctx context.Context, trial Trial) (*Results, error) {
 type Results struct {
 	byName map[string]*stats.Sample
 	trials int
+}
+
+// Merge appends every observation of o after r's own, per metric, in o's
+// trial order. Because stats.Sample aggregates by a sequential Welford
+// fold, merging the Results of RunFrom(0, k) and RunFrom(k, m) — in that
+// order — yields aggregates bit-identical to a single Run with
+// Trials = k+m; TestRunFromSplitGolden pins this.
+func (r *Results) Merge(o *Results) {
+	for _, name := range o.Names() {
+		dst := r.byName[name]
+		if dst == nil {
+			dst = &stats.Sample{}
+			if r.byName == nil {
+				r.byName = make(map[string]*stats.Sample)
+			}
+			r.byName[name] = dst
+		}
+		dst.AddAll(o.byName[name].Values())
+	}
+	r.trials += o.trials
 }
 
 // Sample returns the sample for a metric; missing metrics yield an empty

@@ -1,0 +1,272 @@
+package stats
+
+import (
+	"math"
+)
+
+// Welford is a streaming mean/variance accumulator: O(1) state, no stored
+// observations — the estimator shape the adaptive sweep engine feeds one
+// batch at a time. Adds are order-sensitive in the last few ulps (floating
+// point), which is exactly why internal/sweep always feeds observations in
+// trial order: the accumulated state is then a pure fold over the trial
+// sequence and bit-identical for any worker count or batch split.
+type Welford struct {
+	n        int
+	mean, m2 float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations folded in.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean, or NaN when empty.
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Var returns the unbiased sample variance (n−1 denominator), or NaN when
+// fewer than two observations exist.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Var()) }
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// NormalQuantile returns the p-quantile of the standard normal
+// distribution, p ∈ (0,1). Acklam's rational approximation with one
+// Halley refinement step against erfc brings the absolute error below
+// 1e-13 — far past what any Monte-Carlo interval here resolves.
+func NormalQuantile(p float64) float64 {
+	if !(p > 0 && p < 1) {
+		panic("stats: normal quantile needs p in (0,1)")
+	}
+	// Acklam's coefficients.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const plow = 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// Halley refinement: e = CDF(x) − p, u = e·√(2π)·exp(x²/2).
+	e := 0.5*math.Erfc(-x/math.Sqrt2) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	return x - u/(1+x*u/2)
+}
+
+// TQuantile returns the p-quantile of Student's t distribution with df
+// degrees of freedom, p ∈ (0,1). Bisection on the CDF (regularized
+// incomplete beta) to ~1e-10 — simple and exact enough for confidence
+// intervals; df must be positive.
+func TQuantile(p float64, df int) float64 {
+	if !(p > 0 && p < 1) {
+		panic("stats: t quantile needs p in (0,1)")
+	}
+	if df <= 0 {
+		panic("stats: t quantile needs positive degrees of freedom")
+	}
+	if p == 0.5 {
+		return 0
+	}
+	// By symmetry solve in the upper half only.
+	if p < 0.5 {
+		return -TQuantile(1-p, df)
+	}
+	// Bracket: the normal quantile underestimates the t quantile, and
+	// doubling covers the heavy tail (df=1 at p=0.9995 is ~636).
+	lo := 0.0
+	hi := math.Max(2, 2*NormalQuantile(p))
+	for TCDF(hi, df) < p {
+		hi *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if TCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// TCDF returns P(T ≤ t) for T ~ Student's t with df degrees of freedom,
+// via the regularized incomplete beta function: for t ≥ 0,
+// P(T ≤ t) = 1 − I_{df/(df+t²)}(df/2, 1/2)/2.
+func TCDF(t float64, df int) float64 {
+	if df <= 0 {
+		panic("stats: t CDF needs positive degrees of freedom")
+	}
+	if t == 0 {
+		return 0.5
+	}
+	x := float64(df) / (float64(df) + t*t)
+	tail := 0.5 * regIncBeta(float64(df)/2, 0.5, x)
+	if t > 0 {
+		return 1 - tail
+	}
+	return tail
+}
+
+// regIncBeta is the regularized incomplete beta function I_x(a, b) via the
+// Lentz continued fraction (Numerical Recipes §6.4), using the symmetry
+// I_x(a,b) = 1 − I_{1−x}(b,a) to stay in the rapidly converging regime.
+func regIncBeta(a, b, x float64) float64 {
+	if x < 0 || x > 1 || a <= 0 || b <= 0 {
+		panic("stats: incomplete beta out of domain")
+	}
+	if x == 0 {
+		return 0
+	}
+	if x == 1 {
+		return 1
+	}
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	lgab, _ := math.Lgamma(a + b)
+	front := math.Exp(lgab - lga - lgb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the incomplete-beta continued fraction by the modified
+// Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const tiny = 1e-300
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= 500; m++ {
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + 2*fm) * (a + 2*fm))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + 2*fm) * (qap + 2*fm))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return h
+}
+
+// MeanCI returns the half-width of a two-sided Student-t confidence
+// interval for a mean estimated from n observations with sample standard
+// deviation sd, at the given confidence level (e.g. 0.95). Fewer than two
+// observations — or a non-finite sd — cannot bound the mean, so the
+// half-width is +Inf; sd = 0 gives 0.
+func MeanCI(sd float64, n int, conf float64) float64 {
+	if !(conf > 0 && conf < 1) {
+		panic("stats: confidence level must be in (0,1)")
+	}
+	if n < 2 || math.IsNaN(sd) || math.IsInf(sd, 0) {
+		return math.Inf(1)
+	}
+	if sd == 0 {
+		return 0
+	}
+	t := TQuantile(1-(1-conf)/2, n-1)
+	return t * sd / math.Sqrt(float64(n))
+}
+
+// Wilson returns the Wilson score confidence interval for a proportion
+// with k successes out of n trials at the given confidence level. Unlike
+// the Wald interval it stays inside [0,1] and keeps positive width at
+// p̂ ∈ {0,1}, which is what makes it usable as an adaptive stopping rule
+// near thresholds. n = 0 yields (NaN, NaN). BinomialCI is the fixed
+// z = 1.96 ancestor kept for the older experiment tables.
+func Wilson(k, n int, conf float64) (lo, hi float64) {
+	if !(conf > 0 && conf < 1) {
+		panic("stats: confidence level must be in (0,1)")
+	}
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	if k < 0 || k > n {
+		panic("stats: Wilson needs 0 <= k <= n")
+	}
+	z := NormalQuantile(1 - (1-conf)/2)
+	p := float64(k) / float64(n)
+	nn := float64(n)
+	denom := 1 + z*z/nn
+	center := (p + z*z/(2*nn)) / denom
+	half := z * math.Sqrt(p*(1-p)/nn+z*z/(4*nn*nn)) / denom
+	lo, hi = center-half, center+half
+	// At the boundary estimates the algebra gives lo = 0 (resp. hi = 1)
+	// exactly; pin them so float round-off cannot leave a stray 1e-17.
+	if lo < 0 || k == 0 {
+		lo = 0
+	}
+	if hi > 1 || k == n {
+		hi = 1
+	}
+	return lo, hi
+}

@@ -14,11 +14,10 @@ import (
 // for use. Add is O(1); order statistics sort lazily and cache until the
 // next Add.
 type Sample struct {
-	xs     []float64
-	sorted bool
+	xs     []float64 // insertion order, never reordered (see Values)
+	sorted []float64 // lazily built order-statistic cache; nil when stale
 
-	n          int
-	mean, m2   float64
+	w          Welford // single home of the streaming-moment recurrence
 	min, max   float64
 	haveMinMax bool
 }
@@ -26,11 +25,8 @@ type Sample struct {
 // Add appends an observation.
 func (s *Sample) Add(x float64) {
 	s.xs = append(s.xs, x)
-	s.sorted = false
-	s.n++
-	d := x - s.mean
-	s.mean += d / float64(s.n)
-	s.m2 += d * (x - s.mean)
+	s.sorted = nil
+	s.w.Add(x)
 	if !s.haveMinMax || x < s.min {
 		s.min = x
 	}
@@ -48,35 +44,20 @@ func (s *Sample) AddAll(xs []float64) {
 }
 
 // N returns the number of observations.
-func (s *Sample) N() int { return s.n }
+func (s *Sample) N() int { return s.w.N() }
 
 // Mean returns the sample mean, or NaN for an empty sample.
-func (s *Sample) Mean() float64 {
-	if s.n == 0 {
-		return math.NaN()
-	}
-	return s.mean
-}
+func (s *Sample) Mean() float64 { return s.w.Mean() }
 
 // Var returns the unbiased sample variance (n-1 denominator), or NaN when
 // fewer than two observations exist.
-func (s *Sample) Var() float64 {
-	if s.n < 2 {
-		return math.NaN()
-	}
-	return s.m2 / float64(s.n-1)
-}
+func (s *Sample) Var() float64 { return s.w.Var() }
 
 // StdDev returns the sample standard deviation.
-func (s *Sample) StdDev() float64 { return math.Sqrt(s.Var()) }
+func (s *Sample) StdDev() float64 { return s.w.StdDev() }
 
 // StdErr returns the standard error of the mean.
-func (s *Sample) StdErr() float64 {
-	if s.n == 0 {
-		return math.NaN()
-	}
-	return s.StdDev() / math.Sqrt(float64(s.n))
-}
+func (s *Sample) StdErr() float64 { return s.w.StdErr() }
 
 // Min returns the smallest observation, or NaN for an empty sample.
 func (s *Sample) Min() float64 {
@@ -94,13 +75,28 @@ func (s *Sample) Max() float64 {
 	return s.max
 }
 
-// Sum returns the sum of all observations.
-func (s *Sample) Sum() float64 { return s.mean * float64(s.n) }
+// Sum returns the sum of all observations (0 when empty).
+func (s *Sample) Sum() float64 {
+	if s.w.N() == 0 {
+		return 0
+	}
+	return s.w.Mean() * float64(s.w.N())
+}
+
+// Values returns the observations in insertion order as a fresh slice.
+// sim.Results.Merge replays them to extend one sample by another with the
+// exact floating-point state a single sequential feed would produce.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
 
 func (s *Sample) ensureSorted() {
-	if !s.sorted {
-		sort.Float64s(s.xs)
-		s.sorted = true
+	if s.sorted == nil {
+		s.sorted = make([]float64, len(s.xs))
+		copy(s.sorted, s.xs)
+		sort.Float64s(s.sorted)
 	}
 }
 
@@ -111,21 +107,21 @@ func (s *Sample) Quantile(q float64) float64 {
 	if q < 0 || q > 1 {
 		panic("stats: quantile out of [0,1]")
 	}
-	if s.n == 0 {
+	if s.N() == 0 {
 		return math.NaN()
 	}
 	s.ensureSorted()
-	if s.n == 1 {
-		return s.xs[0]
+	if s.N() == 1 {
+		return s.sorted[0]
 	}
-	pos := q * float64(s.n-1)
+	pos := q * float64(s.N()-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return s.xs[lo]
+		return s.sorted[lo]
 	}
 	frac := pos - float64(lo)
-	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+	return s.sorted[lo]*(1-frac) + s.sorted[hi]*frac
 }
 
 // Median returns the 0.5-quantile.
@@ -140,19 +136,19 @@ func (s *Sample) CI95() float64 {
 
 // FractionAtMost returns the fraction of observations <= x.
 func (s *Sample) FractionAtMost(x float64) float64 {
-	if s.n == 0 {
+	if s.N() == 0 {
 		return math.NaN()
 	}
 	s.ensureSorted()
 	// Upper bound index of x.
-	i := sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))
-	return float64(i) / float64(s.n)
+	i := sort.SearchFloat64s(s.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(s.N())
 }
 
 // String summarizes the sample for debugging output.
 func (s *Sample) String() string {
 	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
-		s.n, s.Mean(), s.StdDev(), s.Min(), s.Max())
+		s.N(), s.Mean(), s.StdDev(), s.Min(), s.Max())
 }
 
 // LinFit is a least-squares straight-line fit y ≈ Alpha + Beta·x with its

@@ -1,0 +1,222 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// bernoulli returns an observable that is 1 with probability p, drawn
+// deterministically from the trial's stream.
+func bernoulli(p float64) Observable {
+	return func(trial int, r *rng.Stream) float64 {
+		if r.Bernoulli(p) {
+			return 1
+		}
+		return 0
+	}
+}
+
+func TestAdaptiveProportionConvergesToPrecision(t *testing.T) {
+	a := Adaptive{
+		Seed: 42,
+		Kind: Proportion,
+		Prec: Precision{Abs: 0.04, MaxTrials: 20000},
+	}
+	est, err := a.Estimate(context.Background(), bernoulli(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Converged {
+		t.Fatalf("did not converge: %+v", est)
+	}
+	if est.Half > 0.04 {
+		t.Fatalf("half-width %v above requested 0.04", est.Half)
+	}
+	if math.Abs(est.Point-0.3) > 3*est.Half {
+		t.Fatalf("estimate %v implausibly far from 0.3 (half=%v)", est.Point, est.Half)
+	}
+	if est.Successes != int(math.Round(est.Point*float64(est.N))) {
+		t.Fatalf("successes %d inconsistent with point %v over %d", est.Successes, est.Point, est.N)
+	}
+}
+
+func TestAdaptiveMeanConvergesToPrecision(t *testing.T) {
+	a := Adaptive{
+		Seed: 7,
+		Kind: Mean,
+		Prec: Precision{Abs: 0.1, MaxTrials: 50000},
+	}
+	est, err := a.Estimate(context.Background(), func(trial int, r *rng.Stream) float64 {
+		return 5 + 2*r.NormFloat64()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Converged || est.Half > 0.1 {
+		t.Fatalf("mean estimate did not meet precision: %+v", est)
+	}
+	if math.Abs(est.Point-5) > 4*est.Half {
+		t.Fatalf("mean estimate %v far from 5", est.Point)
+	}
+}
+
+func TestAdaptiveRelativePrecision(t *testing.T) {
+	a := Adaptive{
+		Seed: 9,
+		Kind: Mean,
+		Prec: Precision{Rel: 0.02, MaxTrials: 100000},
+	}
+	est, err := a.Estimate(context.Background(), func(trial int, r *rng.Stream) float64 {
+		return 40 + 10*r.NormFloat64()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Converged {
+		t.Fatalf("did not converge: %+v", est)
+	}
+	if est.Half > 0.02*math.Abs(est.Point) {
+		t.Fatalf("half %v above 2%% of point %v", est.Half, est.Point)
+	}
+}
+
+// TestAdaptiveBitIdenticalAcrossWorkers is the core determinism claim: the
+// adaptive loop — batch schedule included — must not see the worker count.
+func TestAdaptiveBitIdenticalAcrossWorkers(t *testing.T) {
+	run := func(workers int) Estimate {
+		a := Adaptive{
+			Seed:    1234,
+			Workers: workers,
+			Kind:    Proportion,
+			Prec:    Precision{Abs: 0.03, MaxTrials: 30000},
+		}
+		est, err := a.Estimate(context.Background(), bernoulli(0.47))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+	want := run(1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0), 0} {
+		got := run(workers)
+		if got != want {
+			t.Fatalf("Workers=%d estimate differs:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+func TestAdaptiveTrialCap(t *testing.T) {
+	// An unmeetable precision must stop at MaxTrials with Converged=false.
+	a := Adaptive{
+		Seed: 3,
+		Kind: Proportion,
+		Prec: Precision{Abs: 1e-9, MaxTrials: 500},
+	}
+	est, err := a.Estimate(context.Background(), bernoulli(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Converged {
+		t.Fatal("cannot have converged to 1e-9")
+	}
+	if est.N != 500 {
+		t.Fatalf("consumed %d trials, want exactly the cap 500", est.N)
+	}
+}
+
+func TestAdaptiveZeroVarianceStopsEarly(t *testing.T) {
+	calls := 0
+	a := Adaptive{
+		Seed:    5,
+		Kind:    Proportion,
+		Prec:    Precision{Abs: 0.05, MaxTrials: 100000, Batch: 16},
+		OnBatch: func(Estimate) { calls++ },
+	}
+	est, err := a.Estimate(context.Background(), func(int, *rng.Stream) float64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Converged {
+		t.Fatalf("constant response should converge: %+v", est)
+	}
+	// Wilson at p̂=0 shrinks like z²/n; ±0.05 needs n ≈ 110 — nowhere near
+	// the cap.
+	if est.N > 1000 {
+		t.Fatalf("constant response burned %d trials", est.N)
+	}
+	if calls == 0 {
+		t.Fatal("OnBatch never fired")
+	}
+}
+
+// TestAdaptiveMeanOneTrialCapStaysFinite: a mean needs two observations,
+// so a 1-trial cap is raised rather than finishing with an infinite
+// (JSON-unencodable) interval.
+func TestAdaptiveMeanOneTrialCapStaysFinite(t *testing.T) {
+	a := Adaptive{Seed: 1, Kind: Mean, Prec: Precision{Abs: 10, MinTrials: 1, MaxTrials: 1, Batch: 1}}
+	est, err := a.Estimate(context.Background(), func(int, *rng.Stream) float64 { return 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.N != 2 {
+		t.Fatalf("N = %d, want the raised floor 2", est.N)
+	}
+	if math.IsInf(est.Half, 0) || math.IsInf(est.Lo, 0) || math.IsInf(est.Hi, 0) {
+		t.Fatalf("infinite interval leaked: %+v", est)
+	}
+	if _, err := json.Marshal(est); err != nil {
+		t.Fatalf("estimate not JSON-encodable: %v", err)
+	}
+}
+
+func TestAdaptiveProportionRejectsNonBinary(t *testing.T) {
+	a := Adaptive{Seed: 1, Kind: Proportion, Prec: Precision{MaxTrials: 64}}
+	_, err := a.Estimate(context.Background(), func(int, *rng.Stream) float64 { return 0.5 })
+	if err == nil {
+		t.Fatal("0.5 observation should be rejected for a proportion")
+	}
+}
+
+func TestAdaptiveInvalidSpecs(t *testing.T) {
+	if _, err := (Adaptive{Kind: "median"}).Estimate(context.Background(), bernoulli(0.5)); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+	bad := Adaptive{Kind: Mean, Prec: Precision{Confidence: 1.5}}
+	if _, err := bad.Estimate(context.Background(), bernoulli(0.5)); err == nil {
+		t.Fatal("confidence 1.5 should error")
+	}
+}
+
+func TestAdaptiveCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := Adaptive{Seed: 1, Kind: Proportion, Prec: Precision{MaxTrials: 1000}}
+	est, err := a.Estimate(ctx, bernoulli(0.5))
+	if err == nil {
+		t.Fatal("want context error")
+	}
+	if est.N != 0 {
+		t.Fatalf("pre-cancelled estimate ran %d trials", est.N)
+	}
+}
+
+func TestEstimateJSONRoundTrip(t *testing.T) {
+	est := Estimate{Kind: Proportion, N: 100, Successes: 37, Point: 0.37,
+		Lo: 0.28, Hi: 0.47, Half: 0.095, Converged: true}
+	data, err := json.Marshal(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Estimate
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != est {
+		t.Fatalf("round trip: %+v != %+v", back, est)
+	}
+}
