@@ -9,7 +9,7 @@ BENCHTIME ?= 1s
 # if the tree drops below it. Raise it when coverage durably improves.
 COVER_MIN ?= 84.0
 
-.PHONY: all build test test-race cover vet fmt bench clean
+.PHONY: all build test test-race cover vet fmt bench bench-diff clean
 
 all: build test
 
@@ -49,6 +49,14 @@ bench:
 	cat bench.txt
 	$(GO) run ./cmd/benchjson < bench.txt > BENCH_kernels.json
 	@echo "wrote BENCH_kernels.json"
+
+# bench-diff is the performance-regression gate CI runs after `make
+# bench`: it compares the fresh BENCH_kernels.json against the committed
+# baseline and fails on Kernel* regressions (>30% ns/op growth or any
+# allocs/op increase). Refresh the baseline after intentional perf changes
+# with: make bench && cp BENCH_kernels.json testdata/bench_baseline.json
+bench-diff:
+	$(GO) run ./cmd/benchdiff -baseline testdata/bench_baseline.json BENCH_kernels.json
 
 clean:
 	rm -f bench.txt BENCH_kernels.json cover.out

@@ -251,6 +251,87 @@ func BenchmarkKernelGnpSparse(b *testing.B) {
 	}
 }
 
+// --- batched trial engine (Relabel) micro-benchmarks --------------------
+//
+// BenchmarkKernelRelabel measures one batched Monte-Carlo trial on a fixed
+// substrate: in-place Resample into a reused labeling, Relabel (lazy index
+// rebuild), and a Treach check against a precomputed static-reachability
+// cache. BenchmarkKernelRelabelRebuild is the same trial through the
+// rebuild oracle the engine replaced — a fresh Assign + MustNew + serial
+// Treach per trial. Both produce bit-identical answers (pinned by the
+// differential tests); the delta is the batched engine's win, and the
+// relabel side must stay at 0 allocs/op (the CI benchdiff gate fails on
+// any alloc regression).
+
+// relabelBenchCases spans the resampling model families on the clique and
+// sparse-G(n,p) substrates the sweeps spend their trials on.
+func relabelBenchCases(b *testing.B) []struct {
+	name string
+	m    avail.Model
+	g    *graph.Graph
+} {
+	b.Helper()
+	mk := func(name string, p avail.Params) avail.Model {
+		m, err := avail.Build(name, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	return []struct {
+		name string
+		m    avail.Model
+		g    *graph.Graph
+	}{
+		{"uniform-r2-clique-128", mk("uniform", avail.Params{Lifetime: 128, R: 2}), graph.Clique(128, false)},
+		{"markov-clique-128", mk("markov", avail.Params{Lifetime: 128, P: map[string]float64{"pi": 0.05, "runlen": 4}}), graph.Clique(128, false)},
+		{"pt-ramp-clique-128", mk("pt-ramp", avail.Params{Lifetime: 128}), graph.Clique(128, false)},
+		{"uniform-r4-gnp-1024", mk("uniform", avail.Params{Lifetime: 1024, R: 4}), graph.Gnp(1024, 8.0/1024, false, rng.New(3))},
+	}
+}
+
+func BenchmarkKernelRelabel(b *testing.B) {
+	for _, tc := range relabelBenchCases(b) {
+		b.Run(tc.name, func(b *testing.B) {
+			rs := tc.m.(avail.Resampler)
+			sr := temporal.NewStaticReach(tc.g)
+			net := temporal.MustNew(tc.g, tc.m.Lifetime(), temporal.Labeling{Off: make([]int32, tc.g.M()+1)})
+			var lab temporal.Labeling
+			stream := rng.New(7)
+			// Warm the buffers so the loop measures the steady state.
+			rs.Resample(tc.g, &lab, stream)
+			if err := net.Relabel(lab); err != nil {
+				b.Fatal(err)
+			}
+			temporal.SatisfiesTreachStatic(net, sr, nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rs.Resample(tc.g, &lab, stream)
+				if err := net.Relabel(lab); err != nil {
+					b.Fatal(err)
+				}
+				temporal.SatisfiesTreachStatic(net, sr, nil)
+			}
+			b.ReportMetric(float64(net.LabelCount()), "timeedges")
+		})
+	}
+}
+
+func BenchmarkKernelRelabelRebuild(b *testing.B) {
+	for _, tc := range relabelBenchCases(b) {
+		b.Run(tc.name, func(b *testing.B) {
+			stream := rng.New(7)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net := temporal.MustNew(tc.g, tc.m.Lifetime(), tc.m.Assign(tc.g, stream))
+				temporal.SatisfiesTreachSerial(net, nil)
+			}
+		})
+	}
+}
+
 // --- sweep-engine micro-benchmarks --------------------------------------
 //
 // BenchmarkSweep* tracks the adaptive estimation subsystem in
@@ -349,6 +430,102 @@ func BenchmarkSweepThresholdBisect(b *testing.B) {
 			b.Fatalf("bisect failed: %v %+v", err, cr)
 		}
 	}
+}
+
+// --- batched vs rebuild sweep benchmarks --------------------------------
+//
+// BenchmarkSweepBatched*/BenchmarkSweepRebuild* run the same adaptive cell
+// — an i.i.d.-uniform-labeled treach estimate driven to a fixed 256-trial
+// budget — through the two execution paths: sim.BatchRunner (per-worker
+// substrate+index, labels resampled in place, static reach cached) versus
+// the rebuild oracle (avail.Network per trial). Estimates are
+// bit-identical; the trials/sec ratio is the batched engine's headline
+// number (≥3× on the clique, the sparse-gnp cell is bounded by the
+// temporal word scan both paths share).
+
+func sweepCellBench(b *testing.B, m avail.Model, g *graph.Graph, batched bool) {
+	b.Helper()
+	prec := sweep.Precision{Abs: 1e-9, MaxTrials: 256, Batch: 64}
+	treach := func(trial int, net *temporal.Network, r *rng.Stream) float64 {
+		if temporal.SatisfiesTreachSerial(net, nil) {
+			return 1
+		}
+		return 0
+	}
+	var sr *temporal.StaticReach
+	if batched {
+		sr = temporal.NewStaticReach(g)
+	}
+	trials := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		a := sweep.Adaptive{Seed: seed, Kind: sweep.Proportion, Prec: prec}
+		var est sweep.Estimate
+		var err error
+		if batched {
+			br := sim.BatchRunner{Model: m, Substrate: g, Seed: seed}
+			est, err = a.EstimateSource(context.Background(), func(ctx context.Context, start, count int) ([]float64, error) {
+				return br.ObserveFrom(ctx, start, count, func(trial int, net *temporal.Network, r *rng.Stream) float64 {
+					if temporal.SatisfiesTreachStatic(net, sr, nil) {
+						return 1
+					}
+					return 0
+				})
+			})
+		} else {
+			runner := sim.Runner{Seed: seed}
+			est, err = a.EstimateSource(context.Background(), func(ctx context.Context, start, count int) ([]float64, error) {
+				return runner.ScalarsFromContext(ctx, start, count, func(trial int, r *rng.Stream) float64 {
+					return treach(trial, avail.Network(m, g, r), r)
+				})
+			})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		trials += est.N
+	}
+	b.ReportMetric(float64(trials)/float64(b.N), "trials/op")
+}
+
+func sweepBenchClique(b *testing.B) (avail.Model, *graph.Graph) {
+	b.Helper()
+	m, err := avail.Build("uniform", avail.Params{Lifetime: 96, R: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, graph.Clique(96, false)
+}
+
+func sweepBenchGnp(b *testing.B) (avail.Model, *graph.Graph) {
+	b.Helper()
+	m, err := avail.Build("uniform", avail.Params{Lifetime: 256, R: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, graph.Gnp(256, 8.0/256, false, rng.New(3))
+}
+
+func BenchmarkSweepRebuildIIDClique(b *testing.B) {
+	m, g := sweepBenchClique(b)
+	sweepCellBench(b, m, g, false)
+}
+
+func BenchmarkSweepBatchedIIDClique(b *testing.B) {
+	m, g := sweepBenchClique(b)
+	sweepCellBench(b, m, g, true)
+}
+
+func BenchmarkSweepRebuildIIDGnp(b *testing.B) {
+	m, g := sweepBenchGnp(b)
+	sweepCellBench(b, m, g, false)
+}
+
+func BenchmarkSweepBatchedIIDGnp(b *testing.B) {
+	m, g := sweepBenchGnp(b)
+	sweepCellBench(b, m, g, true)
 }
 
 // BenchmarkSweepE18CellQuick is one real sweep cell at E18 quick scale: a

@@ -1,0 +1,163 @@
+// Command benchdiff is the CI performance-regression gate: it compares a
+// fresh kernel benchmark run (BENCH_kernels.json, the cmd/benchjson
+// format) against a committed baseline and exits nonzero when a gated
+// benchmark regressed.
+//
+// Gated benchmarks are the ones whose stripped name matches -gate (default
+// "Kernel", i.e. the BenchmarkKernel* family). A gated benchmark fails
+// when
+//
+//   - its ns/op grew by more than -max-ns-regress (default 0.30 = +30%)
+//     over the baseline, or
+//   - its allocs/op increased at all — allocation counts are exact and
+//     machine-independent, so any growth is a real regression (the batched
+//     trial engine's 0 allocs/op steady state is pinned this way), or
+//   - it is present in the baseline but missing from the fresh run — a
+//     silently dropped benchmark would blind the gate.
+//
+// Benchmarks new in the fresh run pass (they have no baseline yet; commit
+// an updated baseline to start gating them). Non-gated benchmarks are
+// reported but never fail the run — wall-clock numbers for the experiment
+// and sweep suites drift with machine load, and the gate must not flap on
+// them.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff -baseline testdata/bench_baseline.json BENCH_kernels.json
+//
+// To refresh the baseline after an intentional performance change:
+//
+//	make bench && cp BENCH_kernels.json testdata/bench_baseline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Benchmark mirrors cmd/benchjson's entry shape.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report mirrors cmd/benchjson's document shape.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+var (
+	baselinePath = flag.String("baseline", "testdata/bench_baseline.json", "baseline BENCH_kernels.json to compare against")
+	maxNsRegress = flag.Float64("max-ns-regress", 0.30, "maximum tolerated fractional ns/op growth on gated benchmarks")
+	gatePrefix   = flag.String("gate", "Kernel", "benchmark-name prefix (after the Benchmark prefix is stripped) that is gated")
+)
+
+func load(path string) (map[string]Benchmark, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]Benchmark, len(rep.Benchmarks))
+	order := make([]string, 0, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		if _, dup := byName[b.Name]; !dup {
+			order = append(order, b.Name)
+		}
+		byName[b.Name] = b
+	}
+	return byName, order, nil
+}
+
+// diff compares fresh against base and returns the human-readable report
+// lines and the gate failures.
+func diff(base, fresh map[string]Benchmark, baseOrder []string, maxNs float64, gate string) (lines, failures []string) {
+	for _, name := range baseOrder {
+		b := base[name]
+		gated := strings.HasPrefix(name, gate)
+		f, ok := fresh[name]
+		if !ok {
+			if gated {
+				failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from the fresh run", name))
+			} else {
+				lines = append(lines, fmt.Sprintf("  %-55s missing from fresh run (not gated)", name))
+			}
+			continue
+		}
+		bn, fn := b.Metrics["ns/op"], f.Metrics["ns/op"]
+		var growth float64
+		if bn > 0 {
+			growth = fn/bn - 1
+		}
+		ba, fa := b.Metrics["allocs/op"], f.Metrics["allocs/op"]
+		status := "ok"
+		switch {
+		case gated && fa > ba:
+			status = "FAIL allocs"
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f → %.0f (any increase fails)", name, ba, fa))
+		case gated && bn > 0 && growth > maxNs:
+			status = "FAIL ns/op"
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f → %.0f (%+.1f%%, limit %+.0f%%)", name, bn, fn, 100*growth, 100*maxNs))
+		case !gated:
+			status = "info"
+		}
+		lines = append(lines, fmt.Sprintf("  %-55s ns/op %12.0f → %12.0f (%+6.1f%%)  allocs/op %4.0f → %4.0f  [%s]",
+			name, bn, fn, 100*growth, ba, fa, status))
+	}
+	var added []string
+	for name := range fresh {
+		if _, ok := base[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		lines = append(lines, fmt.Sprintf("  %-55s new (no baseline; passes)", name))
+	}
+	return lines, failures
+}
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-baseline FILE] [-max-ns-regress F] [-gate PREFIX] FRESH.json")
+		os.Exit(2)
+	}
+	base, baseOrder, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, _, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	lines, failures := diff(base, fresh, baseOrder, *maxNsRegress, *gatePrefix)
+	fmt.Printf("benchdiff: %s vs baseline %s (gate %s*, ns/op limit %+.0f%%)\n",
+		flag.Arg(0), *baselinePath, *gatePrefix, 100**maxNsRegress)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if len(failures) > 0 {
+		fmt.Printf("\nbenchdiff: %d regression(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Println("  " + f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bench(name string, ns, allocs float64) Benchmark {
+	return Benchmark{Name: name, Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}}
+}
+
+func asMaps(bs ...Benchmark) (map[string]Benchmark, []string) {
+	m := map[string]Benchmark{}
+	var order []string
+	for _, b := range bs {
+		m[b.Name] = b
+		order = append(order, b.Name)
+	}
+	return m, order
+}
+
+func TestDiffGates(t *testing.T) {
+	base, order := asMaps(
+		bench("KernelRelabel/x", 1000, 0),
+		bench("KernelTreach", 2000, 0),
+		bench("KernelGone", 500, 0),
+		bench("SweepAdaptiveOverhead", 3000, 100),
+	)
+	fresh, _ := asMaps(
+		bench("KernelRelabel/x", 1250, 0), // +25%: within the 30% limit
+		bench("KernelTreach", 2000, 1),    // alloc regression
+		// KernelGone missing: gate failure
+		bench("SweepAdaptiveOverhead", 30000, 500), // not gated: never fails
+		bench("KernelNew", 1, 0),                   // new: passes
+	)
+	_, failures := diff(base, fresh, order, 0.30, "Kernel")
+	if len(failures) != 2 {
+		t.Fatalf("want 2 failures, got %d: %v", len(failures), failures)
+	}
+	joined := strings.Join(failures, "\n")
+	for _, want := range []string{"KernelTreach", "KernelGone"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("failures missing %s: %v", want, failures)
+		}
+	}
+	if strings.Contains(joined, "Sweep") || strings.Contains(joined, "KernelRelabel/x") {
+		t.Fatalf("unexpected failure recorded: %v", failures)
+	}
+}
+
+func TestDiffNsRegression(t *testing.T) {
+	base, order := asMaps(bench("KernelSlow", 1000, 2))
+	fresh, _ := asMaps(bench("KernelSlow", 1400, 2))
+	if _, failures := diff(base, fresh, order, 0.30, "Kernel"); len(failures) != 1 {
+		t.Fatalf("want the +40%% ns/op regression flagged, got %v", failures)
+	}
+	// The same delta passes under a looser limit, and allocs staying flat
+	// is fine.
+	if _, failures := diff(base, fresh, order, 0.50, "Kernel"); len(failures) != 0 {
+		t.Fatalf("want no failures at 50%% limit, got %v", failures)
+	}
+}
+
+func TestDiffAllocImprovementPasses(t *testing.T) {
+	base, order := asMaps(bench("KernelX", 1000, 5))
+	fresh, _ := asMaps(bench("KernelX", 700, 0))
+	if _, failures := diff(base, fresh, order, 0.30, "Kernel"); len(failures) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", failures)
+	}
+}

@@ -43,7 +43,6 @@ import (
 
 	"repro/internal/avail"
 	"repro/internal/experiments"
-	"repro/internal/rng"
 	"repro/internal/sweep"
 	"repro/internal/table"
 )
@@ -115,7 +114,10 @@ func run(c cfg) error {
 	if err := tgt.Validate(grid); err != nil {
 		return err
 	}
-	obs, err := tgt.Observable()
+	// The batched per-cell source: deterministic substrates relabel one
+	// per-worker network in place per trial; randomized substrates fall
+	// back to per-trial rebuilds. Results are bit-identical either way.
+	src, err := tgt.Source()
 	if err != nil {
 		return err
 	}
@@ -124,18 +126,18 @@ func run(c cfg) error {
 	defer stop()
 
 	if c.target >= 0 {
-		return runThreshold(ctx, c, grid, prec, tgt, obs)
+		return runThreshold(ctx, c, grid, prec, tgt, src)
 	}
-	return runGrid(ctx, c, grid, prec, tgt, obs)
+	return runGrid(ctx, c, grid, prec, tgt, src)
 }
 
 // runGrid estimates every grid cell, checkpointing to -resume when set.
 func runGrid(ctx context.Context, c cfg, grid sweep.Grid, prec sweep.Precision,
-	tgt experiments.SweepTarget, obs sweep.CellObservable) error {
+	tgt experiments.SweepTarget, src sweep.CellSource) error {
 	if len(grid.Axes) == 0 {
 		return errors.New("grid mode needs -grid (or use -target for threshold mode)")
 	}
-	s := sweep.Sweep{Grid: grid, Kind: tgt.Kind(), Prec: prec, Seed: c.seed, Workers: c.workers}
+	s := sweep.Sweep{Grid: grid, Kind: tgt.Kind(), Prec: prec, Seed: c.seed, Workers: c.workers, Source: src}
 
 	var prior *sweep.Checkpoint
 	if c.resume != "" {
@@ -169,7 +171,7 @@ func runGrid(ctx context.Context, c cfg, grid sweep.Grid, prec sweep.Precision,
 		}
 	}
 
-	cp, runErr := s.Run(ctx, prior, obs)
+	cp, runErr := s.Run(ctx, prior, nil)
 	if cp != nil && c.resume != "" {
 		if err := saveCheckpoint(c.resume, cp); err != nil {
 			return err
@@ -217,7 +219,7 @@ type crossingRow struct {
 
 // runThreshold bisects the knob once per cell of the remaining grid axes.
 func runThreshold(ctx context.Context, c cfg, grid sweep.Grid, prec sweep.Precision,
-	tgt experiments.SweepTarget, obs sweep.CellObservable) error {
+	tgt experiments.SweepTarget, src sweep.CellSource) error {
 	if c.knob == "" || c.bracket == "" {
 		return errors.New("threshold mode needs -knob and -bracket lo:hi")
 	}
@@ -263,16 +265,15 @@ func runThreshold(ctx context.Context, c cfg, grid sweep.Grid, prec sweep.Precis
 			OnEval: func(x, y float64) {
 				fmt.Fprintf(os.Stderr, "sweep: %s=%.5g → %.4f\n", c.knob, x, y)
 			},
-		}.FindAdaptive(ctx, a, func(x float64) sweep.Observable {
-			// Built once per probe, read-only across its trials.
+		}.FindAdaptiveSource(ctx, a, func(x float64) sweep.Source {
+			// One batched source per probe; every probe shares a.Seed —
+			// common random numbers across the bisection, as before.
 			vals := make(map[string]float64, len(cellValues)+1)
 			for k, v := range cellValues {
 				vals[k] = v
 			}
 			vals[c.knob] = x
-			return func(trial int, r *rng.Stream) float64 {
-				return obs(vals, trial, r)
-			}
+			return src(vals, a.Seed, a.Workers, nil)
 		})
 		if err != nil {
 			// A failure drops only this cell's row — crossings already

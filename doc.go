@@ -19,9 +19,12 @@
 //	                     kernel over a per-vertex time-edge index, a
 //	                     bit-parallel 64-sources-per-word reachability
 //	                     kernel, a sync.Pool scratch layer for zero-alloc
-//	                     all-pairs sweeps (diameter, Treach), and the
+//	                     all-pairs sweeps (diameter, Treach), the
 //	                     linear-scan oracle they are differentially
-//	                     tested against
+//	                     tested against, and Network.Relabel — the
+//	                     in-place, lazily re-indexed relabeling path the
+//	                     batched trial engine drives (plus StaticReach,
+//	                     the substrate-side Treach cache)
 //	internal/assign      label assigners: UNI-CASE/F-CASE random, box labelings,
 //	                     star optima, double-tour OPT witnesses
 //	internal/core        the paper's contributions (Algorithm 1, §3.5 spreading,

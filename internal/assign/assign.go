@@ -53,21 +53,41 @@ func NormalizedURTN(g *graph.Graph, stream *rng.Stream) temporal.Labeling {
 // label law — the F-CASE of the paper's §2 note. The lifetime is the
 // distribution's.
 func FromDistribution(g *graph.Graph, d dist.Distribution, r int, stream *rng.Stream) temporal.Labeling {
+	var lab temporal.Labeling
+	FromDistributionInto(&lab, g, d, r, stream)
+	return lab
+}
+
+// FromDistributionInto is FromDistribution drawing into lab, reusing its
+// backing arrays — the in-place fast path behind avail's i.i.d. Resample.
+// Stream consumption and the resulting labeling are bit-identical to
+// FromDistribution; sharing the draw loop is what keeps the two paths from
+// drifting apart.
+func FromDistributionInto(lab *temporal.Labeling, g *graph.Graph, d dist.Distribution, r int, stream *rng.Stream) {
 	if r < 0 {
 		panic("assign: negative labels per edge")
 	}
 	m := g.M()
-	lab := temporal.Labeling{
-		Off:    make([]int32, m+1),
-		Labels: make([]int32, m*r),
-	}
+	lab.Reset(m)
 	for e := 0; e <= m; e++ {
 		lab.Off[e] = int32(e * r)
+	}
+	if cap(lab.Labels) < m*r {
+		lab.Labels = make([]int32, m*r)
+	} else {
+		lab.Labels = lab.Labels[:m*r]
+	}
+	if bulk, ok := d.(interface {
+		SampleInto([]int32, *rng.Stream)
+	}); ok {
+		// Bit-identical to the loop below; laws opt in (dist.Uniform) to
+		// skip the per-label interface dispatch on the hot resample path.
+		bulk.SampleInto(lab.Labels, stream)
+		return
 	}
 	for i := range lab.Labels {
 		lab.Labels[i] = int32(d.Sample(stream))
 	}
-	return lab
 }
 
 // UniformWindows gives every edge one availability window of w consecutive

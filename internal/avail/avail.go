@@ -34,6 +34,37 @@ type Scenario interface {
 	Generate(n int, stream *rng.Stream) (*graph.Graph, temporal.Labeling)
 }
 
+// Resampler is the optional in-place fast path batched trial engines
+// (sim.BatchRunner) drive: Resample redraws a labeling for g into lab,
+// reusing lab's backing arrays (temporal.Labeling.Reset). The contract is
+// bit-identity with Assign — Resample must consume stream exactly as
+// Assign does and leave lab equal to Assign's return value for the same
+// stream state — so a trial driven through Resample + temporal.Relabel
+// reproduces the rebuild path's numbers exactly. Implementations must not
+// retain lab's slices.
+//
+// The i.i.d. laws and the p(t) schedules fill in place, the Markov model
+// re-runs its per-edge chains into the existing buffer; the geometric
+// scenario rebuilds its support graph per draw and so never implements
+// this (CanResample reports false, and engines fall back to the full
+// rebuild).
+type Resampler interface {
+	Model
+	Resample(g *graph.Graph, lab *temporal.Labeling, stream *rng.Stream)
+}
+
+// CanResample reports whether m supports the in-place resampling fast path
+// on a fixed substrate: it must implement Resampler and must not be a
+// Scenario (scenario models redraw their own support graph per trial, so
+// there is no fixed substrate to relabel).
+func CanResample(m Model) bool {
+	if _, sc := m.(Scenario); sc {
+		return false
+	}
+	_, ok := m.(Resampler)
+	return ok
+}
+
 // Params parameterizes a registry Build. The zero value selects every
 // default.
 type Params struct {

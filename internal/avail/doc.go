@@ -34,4 +34,11 @@
 // Use Build(name, Params) to construct a registered model, Network to
 // assemble a temporal.Network from a model and substrate, and Builders for
 // the registry metadata served by the experiment service's GET /models.
+//
+// Models that can redraw labels for a fixed substrate without
+// reallocating implement Resampler — Resample writes into a reused
+// buffer with stream consumption bit-identical to Assign — which is the
+// fast path the batched trial engine (sim.BatchRunner, temporal.Relabel)
+// drives; CanResample reports whether a model qualifies (the geometric
+// scenario, which rebuilds its support graph every draw, does not).
 package avail

@@ -46,6 +46,12 @@ func (m IID) Assign(g *graph.Graph, stream *rng.Stream) temporal.Labeling {
 	return assign.FromDistribution(g, m.law, m.r, stream)
 }
 
+// Resample is the in-place Resampler fast path: the same R×M draws as
+// Assign, written into lab's existing buffers.
+func (m IID) Resample(g *graph.Graph, lab *temporal.Labeling, stream *rng.Stream) {
+	assign.FromDistributionInto(lab, g, m.law, m.r, stream)
+}
+
 func init() {
 	Register(Builder{
 		Name: "uniform",

@@ -63,8 +63,17 @@ func (m Markov) Alpha() float64 { return m.alpha }
 func (m Markov) Beta() float64 { return m.beta }
 
 func (m Markov) Assign(g *graph.Graph, stream *rng.Stream) temporal.Labeling {
+	var lab temporal.Labeling
+	m.Resample(g, &lab, stream)
+	return lab
+}
+
+// Resample is the in-place Resampler fast path: the per-edge chains are
+// re-run into lab's existing buffers with exactly Assign's stream
+// consumption. Assign delegates here, so the two paths cannot drift.
+func (m Markov) Resample(g *graph.Graph, lab *temporal.Labeling, stream *rng.Stream) {
 	me := g.M()
-	lab := temporal.Labeling{Off: make([]int32, me+1)}
+	lab.Reset(me)
 	for e := 0; e < me; e++ {
 		on := stream.Bernoulli(m.pi)
 		for t := 1; t <= m.a; t++ {
@@ -81,7 +90,6 @@ func (m Markov) Assign(g *graph.Graph, stream *rng.Stream) temporal.Labeling {
 		}
 		lab.Off[e+1] = int32(len(lab.Labels))
 	}
-	return lab
 }
 
 func init() {

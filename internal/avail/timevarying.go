@@ -128,8 +128,17 @@ func (m TimeVarying) Mass() float64 {
 }
 
 func (m TimeVarying) Assign(g *graph.Graph, stream *rng.Stream) temporal.Labeling {
+	var lab temporal.Labeling
+	m.Resample(g, &lab, stream)
+	return lab
+}
+
+// Resample is the in-place Resampler fast path: the same per-slot
+// Bernoulli sweep as Assign, appended into lab's existing buffers. Assign
+// delegates here, so the two paths cannot drift.
+func (m TimeVarying) Resample(g *graph.Graph, lab *temporal.Labeling, stream *rng.Stream) {
 	me := g.M()
-	lab := temporal.Labeling{Off: make([]int32, me+1)}
+	lab.Reset(me)
 	for e := 0; e < me; e++ {
 		for t := 1; t <= len(m.probs); t++ {
 			if stream.Bernoulli(m.probs[t-1]) {
@@ -138,7 +147,6 @@ func (m TimeVarying) Assign(g *graph.Graph, stream *rng.Stream) temporal.Labelin
 		}
 		lab.Off[e+1] = int32(len(lab.Labels))
 	}
-	return lab
 }
 
 func init() {

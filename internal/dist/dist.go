@@ -41,6 +41,17 @@ func (u Uniform) Sample(r *rng.Stream) int { return 1 + r.Intn(u.a) }
 func (u Uniform) Lifetime() int            { return u.a }
 func (u Uniform) Name() string             { return "uniform" }
 
+// SampleInto fills dst with independent draws, bit-identical to len(dst)
+// successive Sample calls. It exists for the batched trial engine's hot
+// resample loop: a direct fill skips the per-label interface dispatch
+// assign.FromDistributionInto otherwise pays (it detects the method by
+// type assertion, so any law may opt in).
+func (u Uniform) SampleInto(dst []int32, r *rng.Stream) {
+	for i := range dst {
+		dst[i] = int32(1 + r.Intn(u.a))
+	}
+}
+
 func (u Uniform) PMF() []float64 {
 	pmf := make([]float64, u.a)
 	for k := range pmf {

@@ -1,0 +1,168 @@
+package experiments
+
+// Differential coverage for the batched sweep execution path: a sweep run
+// through SweepTarget.Source (per-worker networks relabeled in place, or
+// the runner fallback for randomized substrates) must reproduce the
+// Observable rebuild path's checkpoint bit-identically, for any worker
+// count. Same for E18's source against its observable.
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sweep"
+)
+
+// runSweepBothPaths executes the same sweep spec through the observable
+// and the source paths and returns the two checkpoints.
+func runSweepBothPaths(t *testing.T, tgt SweepTarget, grid sweep.Grid, workers int) (obsCP, srcCP *sweep.Checkpoint) {
+	t.Helper()
+	prec := sweep.Precision{Abs: 0.15, MinTrials: 4, MaxTrials: 24, Batch: 8}
+	base := sweep.Sweep{Grid: grid, Kind: tgt.Kind(), Prec: prec, Seed: 1234, Workers: workers}
+
+	obs, err := tgt.Observable()
+	if err != nil {
+		t.Fatalf("Observable: %v", err)
+	}
+	obsCP, err = base.Run(context.Background(), nil, obs)
+	if err != nil {
+		t.Fatalf("observable sweep: %v", err)
+	}
+
+	src, err := tgt.Source()
+	if err != nil {
+		t.Fatalf("Source: %v", err)
+	}
+	batched := base
+	batched.Source = src
+	srcCP, err = batched.Run(context.Background(), nil, nil)
+	if err != nil {
+		t.Fatalf("batched sweep: %v", err)
+	}
+	return obsCP, srcCP
+}
+
+func assertCheckpointsEqual(t *testing.T, name string, got, want *sweep.Checkpoint) {
+	t.Helper()
+	gj, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wj, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gj) != string(wj) {
+		t.Fatalf("%s: batched checkpoint differs from observable checkpoint\nbatched:    %s\nobservable: %s", name, gj, wj)
+	}
+}
+
+// TestSweepSourceMatchesObservable sweeps representative targets — an
+// i.i.d. law, the Markov chains, a p(t) schedule, the geometric scenario
+// (BatchRunner's rebuild fallback on a fixed substrate) and a randomized
+// substrate (the runner fallback) — through both execution paths and pins
+// the checkpoints identical, across worker counts.
+func TestSweepSourceMatchesObservable(t *testing.T) {
+	cases := []struct {
+		name string
+		tgt  SweepTarget
+		grid sweep.Grid
+	}{
+		{"uniform-dclique", SweepTarget{Model: "uniform", Metric: "treach"},
+			sweep.Grid{Axes: []sweep.Axis{{Name: "n", Values: []float64{10, 14}}, {Name: "lifetime", Values: []float64{8, 20}}}}},
+		{"markov-clique", SweepTarget{Model: "markov", Graph: "clique", Lifetime: 16, Metric: "reach"},
+			sweep.Grid{Axes: []sweep.Axis{{Name: "n", Values: []float64{9}}, {Name: "runlen", Values: []float64{1, 4}}}}},
+		{"pt-burst-grid", SweepTarget{Model: "pt-burst", Graph: "grid", Lifetime: 12, Metric: "meandelta"},
+			sweep.Grid{Axes: []sweep.Axis{{Name: "n", Values: []float64{12}}, {Name: "high", Values: []float64{0.3, 0.8}}}}},
+		{"geometric-scenario", SweepTarget{Model: "geometric", Graph: "clique", Lifetime: 8, Metric: "reach"},
+			sweep.Grid{Axes: []sweep.Axis{{Name: "n", Values: []float64{8}}, {Name: "step", Values: []float64{0.05, 0.2}}}}},
+		{"zipf-gnp-fallback", SweepTarget{Model: "zipf", Graph: "gnp", Lifetime: 10, Metric: "treach"},
+			sweep.Grid{Axes: []sweep.Axis{{Name: "n", Values: []float64{10, 16}}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			obsCP, srcCP := runSweepBothPaths(t, tc.tgt, tc.grid, 1)
+			assertCheckpointsEqual(t, tc.name+"/workers=1", srcCP, obsCP)
+			for _, workers := range []int{4, 0} {
+				_, more := runSweepBothPaths(t, tc.tgt, tc.grid, workers)
+				assertCheckpointsEqual(t, tc.name+"/workers>1", more, obsCP)
+			}
+		})
+	}
+}
+
+// TestSweepSourceInfeasibleCellFails pins the feasibility-edge contract on
+// the batched path: an infeasible cell (markov alpha > 1) must fail the
+// sweep loudly through Source exactly as it does through Observable.
+func TestSweepSourceInfeasibleCellFails(t *testing.T) {
+	tgt := SweepTarget{Model: "markov", Lifetime: 8, Metric: "treach",
+		MP: map[string]float64{"pi": 0.9, "runlen": 1}} // alpha = 9 > 1
+	grid := sweep.Grid{Axes: []sweep.Axis{{Name: "n", Values: []float64{6}}}}
+	src, err := tgt.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sweep.Sweep{Grid: grid, Kind: tgt.Kind(),
+		Prec: sweep.Precision{Abs: 0.2, MaxTrials: 8, Batch: 4}, Seed: 1, Source: src}
+	if _, err := s.Run(context.Background(), nil, nil); err == nil {
+		t.Fatal("batched sweep of an infeasible cell succeeded, want loud failure")
+	}
+}
+
+// TestE18SourceMatchesObservable pins E18's batched cell source against
+// its observable, cell by cell and across worker counts, including the
+// infeasible corner both must refuse identically.
+func TestE18SourceMatchesObservable(t *testing.T) {
+	cliques := map[int]*graph.Graph{12: graph.Clique(12, true)}
+	for _, fam := range e18Models(4) {
+		obs := e18Observable(cliques, fam.mk)
+		src := e18Source(cliques, fam.mk)
+		prec := sweep.Precision{Abs: 0.2, MinTrials: 4, MaxTrials: 16, Batch: 8}
+		for _, c := range []float64{0.1, 0.6} {
+			vals := map[string]float64{"n": 12, "c": c}
+			seed := sweep.CellSeed(77, 3)
+			a := sweep.Adaptive{Seed: seed, Kind: sweep.Proportion, Prec: prec}
+			want, err := a.Estimate(context.Background(), func(trial int, r *rng.Stream) float64 {
+				return obs(vals, trial, r)
+			})
+			if err != nil {
+				t.Fatalf("%s c=%g observable: %v", fam.name, c, err)
+			}
+			for _, workers := range []int{1, 4, 0} {
+				got, err := a.EstimateSource(context.Background(), src(vals, seed, workers, nil))
+				if err != nil {
+					t.Fatalf("%s c=%g workers=%d batched: %v", fam.name, c, workers, err)
+				}
+				if got != want {
+					t.Fatalf("%s c=%g workers=%d: batched %+v, observable %+v", fam.name, c, workers, got, want)
+				}
+			}
+		}
+	}
+
+	// The infeasible markov corner (p too high for runlen): both paths
+	// must observe NaN and error.
+	models := e18Models(8)
+	markov := models[1]
+	vals := map[string]float64{"n": 12, "c": 6}
+	p := vals["c"] * math.Log(12) / 12
+	if _, err := markov.mk(12, p); err == nil {
+		t.Skip("corner no longer infeasible; adjust c")
+	}
+	a := sweep.Adaptive{Seed: 1, Kind: sweep.Proportion,
+		Prec: sweep.Precision{Abs: 0.2, MaxTrials: 8, Batch: 4}}
+	obs := e18Observable(map[int]*graph.Graph{12: graph.Clique(12, true)}, markov.mk)
+	if _, err := a.Estimate(context.Background(), func(trial int, r *rng.Stream) float64 {
+		return obs(vals, trial, r)
+	}); err == nil {
+		t.Fatal("observable path accepted an infeasible cell")
+	}
+	src := e18Source(map[int]*graph.Graph{12: graph.Clique(12, true)}, markov.mk)
+	if _, err := a.EstimateSource(context.Background(), src(vals, 1, 1, nil)); err == nil {
+		t.Fatal("batched path accepted an infeasible cell")
+	}
+}

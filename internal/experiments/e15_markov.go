@@ -6,6 +6,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/table"
+	"repro/internal/temporal"
 )
 
 // E15MarkovDiameter opens the correlated-availability scenario class: each
@@ -46,8 +47,7 @@ func E15MarkovDiameter(cfg Config) Result {
 			tb.AddNote("runlen %g skipped: %v", L, err)
 			continue
 		}
-		res := cfg.run(trials, cfg.Seed+uint64(li+1)<<11, func(trial int, stream *rng.Stream) sim.Metrics {
-			net := avail.Network(m, g, stream)
+		res := cfg.runNet(trials, cfg.Seed+uint64(li+1)<<11, m, g, func(trial int, net *temporal.Network, stream *rng.Stream) sim.Metrics {
 			d := serialDiameter(net, 96, stream)
 			mt := sim.Metrics{
 				"reach":     0,

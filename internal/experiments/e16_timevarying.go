@@ -96,8 +96,7 @@ func E16TimeVarying(cfg Config) Result {
 				tb.AddNote("%s at c=%g skipped: %v", s.name, c, err)
 				continue
 			}
-			res := cfg.run(trials, cfg.Seed+uint64(row)<<13, func(trial int, stream *rng.Stream) sim.Metrics {
-				net := avail.Network(m, g, stream)
+			res := cfg.runNet(trials, cfg.Seed+uint64(row)<<13, m, g, func(trial int, net *temporal.Network, stream *rng.Stream) sim.Metrics {
 				mt := sim.Metrics{"treach": 0, "reach": 0}
 				if temporal.SatisfiesTreachSerial(net, nil) {
 					mt["treach"] = 1

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/avail"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/table"
 	"repro/internal/temporal"
@@ -85,6 +87,51 @@ func e18Observable(cliques map[int]*graph.Graph,
 	}
 }
 
+// e18Source is e18Observable through the batched trial engine
+// (sim.BatchRunner): the cell's model is built once and every trial
+// relabels a per-worker clique in place. Infeasible cells yield the same
+// per-trial NaNs the observable reports, so the estimator fails them
+// identically; feasible cells produce bit-identical estimates at ≥3× the
+// trials/sec (the model construction and the stream discipline match
+// e18Observable exactly).
+func e18Source(cliques map[int]*graph.Graph,
+	mk func(a int, p float64) (avail.Model, error)) sweep.CellSource {
+	// One static-reachability cache per substrate, shared by every cell and
+	// bisection probe at that n (the static half of Treach never changes
+	// across relabels).
+	static := make(map[int]*temporal.StaticReach, len(cliques))
+	for n, g := range cliques {
+		static[n] = temporal.NewStaticReach(g)
+	}
+	return func(values map[string]float64, seed uint64, workers int, onTrial func()) sweep.Source {
+		n := int(values["n"])
+		p := values["c"] * math.Log(float64(n)) / float64(n)
+		if p > 1 {
+			p = 1
+		}
+		m, err := mk(n, p)
+		if err != nil {
+			return func(ctx context.Context, start, count int) ([]float64, error) {
+				nans := make([]float64, count)
+				for i := range nans {
+					nans[i] = math.NaN()
+				}
+				return nans, ctx.Err()
+			}
+		}
+		b := sim.BatchRunner{Model: m, Substrate: cliques[n], Seed: seed, Workers: workers, OnTrial: onTrial}
+		sr := static[n]
+		return func(ctx context.Context, start, count int) ([]float64, error) {
+			return b.ObserveFrom(ctx, start, count, func(trial int, net *temporal.Network, r *rng.Stream) float64 {
+				if temporal.SatisfiesTreachStatic(net, sr, nil) {
+					return 1
+				}
+				return 0
+			})
+		}
+	}
+}
+
 // E18ConnectivityThreshold estimates the temporal-connectivity threshold
 // c* in p = c·ln n/n as an adaptive Monte-Carlo measurement: for each
 // availability family (memoryless and Markov-correlated, equal budget) and
@@ -135,9 +182,11 @@ func E18ConnectivityThreshold(cfg Config) Result {
 		if cfg.cancelled() {
 			break
 		}
-		obs := e18Observable(cliques, fam.mk)
+		src := e18Source(cliques, fam.mk)
 
-		// Phase 1: the coarse resumable grid sweep.
+		// Phase 1: the coarse resumable grid sweep, batched — each cell
+		// relabels per-worker cliques in place (bit-identical to the
+		// e18Observable rebuild path, which the differential tests pin).
 		s := sweep.Sweep{
 			Grid:    e18Grid(ns, cs),
 			Kind:    sweep.Proportion,
@@ -145,8 +194,9 @@ func E18ConnectivityThreshold(cfg Config) Result {
 			Seed:    sweep.CellSeed(cfg.Seed, 1000+mi),
 			Workers: cfg.Workers,
 			OnTrial: cfg.Progress,
+			Source:  src,
 		}
-		cp, err := s.Run(cfg.ctx(), nil, obs)
+		cp, err := s.Run(cfg.ctx(), nil, nil)
 		if err != nil {
 			grid.AddNote("%s sweep stopped early: %v", fam.name, err)
 		}
@@ -192,12 +242,13 @@ func E18ConnectivityThreshold(cfg Config) Result {
 			cr, last, trialsSpent, err := sweep.Threshold{
 				Target: 0.5, Lo: cs[0], Hi: cs[len(cs)-1],
 				Tol: tol, MaxEvals: 24, Expand: 4,
-			}.FindAdaptive(cfg.ctx(), a, func(c float64) sweep.Observable {
-				// Built once per probe, read-only across its trials.
+			}.FindAdaptiveSource(cfg.ctx(), a, func(c float64) sweep.Source {
+				// One batched source per probe: the probe's model is built
+				// once, its trials relabel per-worker cliques in place, and
+				// every probe shares a.Seed — common random numbers, as
+				// before.
 				vals := map[string]float64{"n": float64(n), "c": c}
-				return func(trial int, r *rng.Stream) float64 {
-					return obs(vals, trial, r)
-				}
+				return src(vals, a.Seed, a.Workers, a.OnTrial)
 			})
 			if err != nil {
 				thr.AddNote("%s n=%d: %v", fam.name, n, err)

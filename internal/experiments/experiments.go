@@ -8,6 +8,8 @@ package experiments
 import (
 	"context"
 
+	"repro/internal/avail"
+	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/table"
@@ -52,6 +54,20 @@ type Config struct {
 func (cfg Config) run(trials int, seed uint64, trial sim.Trial) *sim.Results {
 	res, _ := sim.Runner{Trials: trials, Seed: seed, Workers: cfg.Workers, OnTrial: cfg.Progress}.
 		RunContext(cfg.ctx(), trial)
+	return res
+}
+
+// runNet is run for the fixed-substrate model workload: each trial
+// measures one freshly drawn instance of availability model m over
+// substrate g. Trials flow through the batched engine (sim.BatchRunner),
+// which relabels one per-worker network in place when the model supports
+// in-place resampling and transparently falls back to per-trial rebuilds
+// otherwise; either way per-trial streams, metrics and aggregation are
+// bit-identical to calling avail.Network inside a cfg.run trial body —
+// only faster.
+func (cfg Config) runNet(trials int, seed uint64, m avail.Model, g *graph.Graph, trial sim.NetTrial) *sim.Results {
+	b := sim.BatchRunner{Model: m, Substrate: g, Seed: seed, Workers: cfg.Workers, OnTrial: cfg.Progress}
+	res, _ := b.RunFromContext(cfg.ctx(), 0, trials, trial)
 	return res
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/avail"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/temporal"
 )
@@ -139,15 +141,82 @@ var deterministicFamilies = map[string]bool{
 	"cycle": true, "grid": true, "hypercube": true, "bintree": true,
 }
 
+// cellParams resolves a cell's axis assignment into its substrate size and
+// availability model. ok = false marks an unmeasurable cell — a size below
+// the domain (reachable only from threshold bisection probing under it) or
+// model parameters the registry rejects (e.g. a Markov pi/runlen pair with
+// alpha > 1) — which both execution paths surface as NaN observations so
+// the adaptive estimator fails the cell loudly; a confident 0 there would
+// invert the response at the feasibility edge and break threshold
+// bracketing. Nothing here touches a trial stream, so the resolution can
+// happen per trial (Observable) or once per cell (Source) without changing
+// a single draw.
+func (t SweepTarget) cellParams(values map[string]float64) (n int, m avail.Model, ok bool) {
+	// Validate pins grid axes to integers; rounding (not truncation)
+	// covers the remaining fractional source — threshold bisection
+	// over n/lifetime — so the size run is the nearest one to the
+	// probed knob value.
+	n = 64
+	if v, has := values["n"]; has {
+		n = int(math.Round(v))
+		if n < 1 {
+			return 0, nil, false
+		}
+	}
+	a := t.Lifetime
+	if v, has := values["lifetime"]; has {
+		a = int(math.Round(v))
+		if a < 1 {
+			return 0, nil, false
+		}
+	} else if a <= 0 {
+		a = n
+	}
+	p := avail.Params{Lifetime: a, P: map[string]float64{}}
+	for k, v := range t.MP {
+		p.P[k] = v
+	}
+	for k, v := range values {
+		if k != "n" && k != "lifetime" {
+			p.P[k] = v
+		}
+	}
+	m, err := avail.Build(t.Model, p)
+	if err != nil {
+		return 0, nil, false
+	}
+	return n, m, true
+}
+
+// measure evaluates the target's response metric on one labeled instance;
+// r continues the trial stream past the label draws.
+func (t SweepTarget) measure(net *temporal.Network, r *rng.Stream) float64 {
+	switch t.Metric {
+	case "treach":
+		if temporal.SatisfiesTreachSerial(net, nil) {
+			return 1
+		}
+		return 0
+	case "reach":
+		if serialDiameter(net, 64, r).AllReachable {
+			return 1
+		}
+		return 0
+	default: // meandelta, validated upstream
+		d := serialDiameter(net, 64, r)
+		if d.MeanFinite != d.MeanFinite { // NaN: nothing reached
+			return 0
+		}
+		return d.MeanFinite
+	}
+}
+
 // Observable builds the per-cell, per-trial measurement. Each trial draws
 // one substrate (randomized families consume the trial stream first;
 // deterministic families are built once per size and shared — they never
 // touch the stream, so caching cannot perturb trial randomness), one
 // labeling, and reports the metric. Cells whose parameters are infeasible
-// for the model (e.g. a Markov pi/runlen pair with alpha > 1) observe NaN,
-// which the adaptive estimator turns into a loud per-cell error — a
-// confident 0 there would invert the response at the feasibility edge and
-// break threshold bracketing.
+// observe NaN (see cellParams).
 func (t SweepTarget) Observable() (sweep.CellObservable, error) {
 	t = t.withDefaults()
 	if err := t.Validate(sweep.Grid{}); err != nil {
@@ -170,40 +239,8 @@ func (t SweepTarget) Observable() (sweep.CellObservable, error) {
 		return g, err
 	}
 	return func(values map[string]float64, trial int, r *rng.Stream) float64 {
-		// Validate pins grid axes to integers; rounding (not truncation)
-		// covers the remaining fractional source — threshold bisection
-		// over n/lifetime — so the size run is the nearest one to the
-		// probed knob value.
-		n := 64
-		if v, ok := values["n"]; ok {
-			n = int(math.Round(v))
-			if n < 1 {
-				// Reachable only from threshold bisection probing below
-				// the domain (grid axes are validated positive): signal
-				// unmeasurable rather than panic the graph builder.
-				return math.NaN()
-			}
-		}
-		a := t.Lifetime
-		if v, ok := values["lifetime"]; ok {
-			a = int(math.Round(v))
-			if a < 1 {
-				return math.NaN()
-			}
-		} else if a <= 0 {
-			a = n
-		}
-		p := avail.Params{Lifetime: a, P: map[string]float64{}}
-		for k, v := range t.MP {
-			p.P[k] = v
-		}
-		for k, v := range values {
-			if k != "n" && k != "lifetime" {
-				p.P[k] = v
-			}
-		}
-		m, err := avail.Build(t.Model, p)
-		if err != nil {
+		n, m, ok := t.cellParams(values)
+		if !ok {
 			return math.NaN()
 		}
 		g, err := substrate(n, r)
@@ -211,23 +248,66 @@ func (t SweepTarget) Observable() (sweep.CellObservable, error) {
 			return math.NaN()
 		}
 		net := avail.Network(m, g, r)
-		switch t.Metric {
-		case "treach":
-			if temporal.SatisfiesTreachSerial(net, nil) {
-				return 1
-			}
-			return 0
-		case "reach":
-			if serialDiameter(net, 64, r).AllReachable {
-				return 1
-			}
-			return 0
-		default: // meandelta, validated above
-			d := serialDiameter(net, 64, r)
-			if d.MeanFinite != d.MeanFinite { // NaN: nothing reached
+		return t.measure(net, r)
+	}, nil
+}
+
+// Source builds the per-cell trial source factory — the batched execution
+// path behind sweep.Sweep.Source and Adaptive.EstimateSource. Cells over
+// deterministic substrate families run through sim.BatchRunner: the cell's
+// model and substrate are built once, and every trial relabels one
+// per-worker network in place instead of rebuilding graph, labels and
+// time-edge indexes from scratch. Randomized families (whose substrate
+// must be drawn from each trial's stream before its labels) and
+// infeasible cells fall back to the exact Observable semantics through a
+// plain runner. Either way each cell's numbers are bit-identical to the
+// Observable path for every worker count — only the trials/sec change;
+// the differential tests pin this.
+func (t SweepTarget) Source() (sweep.CellSource, error) {
+	t = t.withDefaults()
+	obs, err := t.Observable()
+	if err != nil {
+		return nil, err
+	}
+	return func(values map[string]float64, seed uint64, workers int, onTrial func()) sweep.Source {
+		fallback := func(ctx context.Context, start, count int) ([]float64, error) {
+			return sim.Runner{Seed: seed, Workers: workers, OnTrial: onTrial}.
+				ScalarsFromContext(ctx, start, count, func(trial int, r *rng.Stream) float64 {
+					return obs(values, trial, r)
+				})
+		}
+		if !deterministicFamilies[t.Graph] {
+			return fallback
+		}
+		n, m, ok := t.cellParams(values)
+		if !ok {
+			return fallback // Observable yields the per-trial NaNs
+		}
+		// Deterministic families never touch the stream, so a throwaway
+		// one builds the same substrate every trial would have seen.
+		g, err := graph.Family(t.Graph, n, graph.FamilyOpts{}, rng.New(0))
+		if err != nil || g.N() == 0 {
+			return fallback
+		}
+		b := sim.BatchRunner{Model: m, Substrate: g, Seed: seed, Workers: workers, OnTrial: onTrial}
+		measure := t.measure
+		if t.Metric == "treach" {
+			// The static half of the Treach decision depends only on the
+			// substrate: compute it once per cell and ask each trial only
+			// the temporal question. Same answers (pinned by the
+			// differential tests), substantially cheaper trials.
+			sr := temporal.NewStaticReach(g)
+			measure = func(net *temporal.Network, r *rng.Stream) float64 {
+				if temporal.SatisfiesTreachStatic(net, sr, nil) {
+					return 1
+				}
 				return 0
 			}
-			return d.MeanFinite
+		}
+		return func(ctx context.Context, start, count int) ([]float64, error) {
+			return b.ObserveFrom(ctx, start, count, func(trial int, net *temporal.Network, r *rng.Stream) float64 {
+				return measure(net, r)
+			})
 		}
 	}, nil
 }

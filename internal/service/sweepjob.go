@@ -208,14 +208,19 @@ func runSweep(ctx context.Context, job *Job) (p *Payload, err error) {
 		}
 	}()
 	req := job.sweepReq
-	obs, err := req.target().Observable()
+	// The batched execution path: per-worker substrate + index, relabeled
+	// in place per trial. Source factories fall back to the per-trial
+	// rebuild for randomized substrates, and either path is bit-identical
+	// per cell, so cached results never depend on which one ran.
+	src, err := req.target().Source()
 	if err != nil {
 		return nil, err
 	}
 	s := req.spec()
 	s.OnTrial = func() { job.trials.Add(1) }
 	s.OnCell = func(sweep.Cell) { job.cells.Add(1) }
-	cp, err := s.Run(ctx, nil, obs)
+	s.Source = src
+	cp, err := s.Run(ctx, nil, nil)
 	if err != nil {
 		return nil, err
 	}

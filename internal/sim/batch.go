@@ -1,0 +1,161 @@
+package sim
+
+// The batched trial engine. The paper's experiments (and E15–E18) hold the
+// substrate graph fixed and only resample link availability per
+// Monte-Carlo trial, yet the naive trial body rebuilds everything: it
+// regenerates all edge labels, re-sorts them, and re-packs the per-vertex
+// time-edge CSR through temporal.New. BatchRunner amortizes all of that:
+// each worker goroutine owns one substrate + temporal.Network whose
+// indexes are rebuilt in place per trial (avail.Resampler redraws the
+// labels into a reusable buffer, temporal.Relabel re-sorts and re-packs
+// over the existing arrays), so a steady-state trial allocates nothing on
+// the labeling path. Results are bit-identical to building avail.Network
+// inside the trial body — Resample consumes the stream exactly as Assign
+// and Relabel rebuilds exactly New's indexes — for any worker count; the
+// differential tests pin this against the rebuild oracle.
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/avail"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/temporal"
+)
+
+// NetTrial measures one freshly labeled temporal-network instance. The
+// network is owned by the calling worker and is overwritten by its next
+// trial: implementations must not retain net (or slices obtained from it,
+// e.g. EdgeLabels) beyond the call. r is the trial's stream, already
+// advanced past the label draws — exactly the state it would have after
+// avail.Network inside a plain Trial.
+type NetTrial func(trial int, net *temporal.Network, r *rng.Stream) Metrics
+
+// NetObservable is NetTrial's single-valued form, for the adaptive sweep
+// engine's scalar path. The same no-retention rule applies.
+type NetObservable func(trial int, net *temporal.Network, r *rng.Stream) float64
+
+// BatchRunner drives Monte-Carlo trials of one availability model over one
+// fixed substrate through the amortized Resample + Relabel path. The zero
+// value is not useful; set Model and Substrate (and usually Seed).
+//
+// Models that cannot resample in place — scenario models, which redraw
+// their own support graph per trial — transparently fall back to a full
+// avail.Network rebuild per trial, so BatchRunner is safe to use for every
+// registered model: the fast path is an optimization, never a behavior
+// change.
+type BatchRunner struct {
+	// Model draws the availability labels; trial i consumes
+	// rng.NewStream(Seed, i) exactly as avail.Network would.
+	Model avail.Model
+	// Substrate is the static support graph every trial labels. Scenario
+	// models use only its vertex count (their Generate builds the rest).
+	Substrate *graph.Graph
+	// Seed is the base seed; trial i uses rng.NewStream(Seed, i).
+	Seed uint64
+	// Workers bounds parallelism; 0 means GOMAXPROCS. Each worker owns one
+	// network instance; results are bit-identical for every value.
+	Workers int
+	// OnTrial, when non-nil, fires once per completed trial from worker
+	// goroutines; it must be safe for concurrent use.
+	OnTrial func()
+
+	// free is the worker-state free list: substrate+index instances are
+	// acquired by worker goroutines at batch start and released when the
+	// batch drains, so state (and its warmed buffers) persists across the
+	// many small batches an adaptive estimation loop issues. Guarded by
+	// mu; methods take a pointer receiver so the list survives calls.
+	mu   sync.Mutex
+	free []*batchWorker
+}
+
+func (b *BatchRunner) runner() Runner {
+	return Runner{Seed: b.Seed, Workers: b.Workers, OnTrial: b.OnTrial}
+}
+
+// batchWorker is one worker goroutine's reusable instance state.
+type batchWorker struct {
+	model     avail.Model
+	substrate *graph.Graph
+	rs        avail.Resampler // nil selects the rebuild path
+	net       *temporal.Network
+	lab       temporal.Labeling
+}
+
+func (b *BatchRunner) acquire() *batchWorker {
+	b.mu.Lock()
+	if n := len(b.free); n > 0 {
+		w := b.free[n-1]
+		b.free = b.free[:n-1]
+		b.mu.Unlock()
+		return w
+	}
+	b.mu.Unlock()
+	w := &batchWorker{model: b.Model, substrate: b.Substrate}
+	if avail.CanResample(b.Model) {
+		w.rs = b.Model.(avail.Resampler)
+	}
+	return w
+}
+
+func (b *BatchRunner) release(w *batchWorker) {
+	b.mu.Lock()
+	b.free = append(b.free, w)
+	b.mu.Unlock()
+}
+
+// instance draws the trial's labeled network: the amortized
+// Resample + Relabel path when the model supports it, a full rebuild
+// otherwise. Both consume stream identically, so downstream measurements
+// cannot tell the paths apart.
+func (w *batchWorker) instance(stream *rng.Stream) *temporal.Network {
+	if w.rs == nil {
+		return avail.Network(w.model, w.substrate, stream)
+	}
+	w.rs.Resample(w.substrate, &w.lab, stream)
+	if w.net == nil {
+		// First trial on this worker: build the index skeleton from an
+		// empty labeling, then relabel — the network then never aliases
+		// the resample buffer, which the next trial overwrites.
+		empty := temporal.Labeling{Off: make([]int32, w.substrate.M()+1)}
+		w.net = temporal.MustNew(w.substrate, w.model.Lifetime(), empty)
+	}
+	if err := w.net.Relabel(w.lab); err != nil {
+		// Resample's contract (labels in range, offsets well-formed) makes
+		// this unreachable; a model violating it is a programming error.
+		panic("sim: resampled labeling rejected: " + err.Error())
+	}
+	return w.net
+}
+
+// Run executes trials 0 … count−1 and aggregates their metrics, mirroring
+// Runner.Run on the batched path.
+func (b *BatchRunner) Run(count int, trial NetTrial) *Results {
+	res, _ := b.RunFromContext(context.Background(), 0, count, trial)
+	return res
+}
+
+// RunFromContext runs the count trials with global indices start, …,
+// start+count−1 under Runner.RunFromContext's determinism, cancellation
+// and panic contract, handing each trial its worker's relabeled network.
+func (b *BatchRunner) RunFromContext(ctx context.Context, start, count int, trial NetTrial) (*Results, error) {
+	return b.runner().runFromWorkers(ctx, start, count, func() (Trial, func()) {
+		w := b.acquire()
+		return func(i int, r *rng.Stream) Metrics {
+			return trial(i, w.instance(r), r)
+		}, func() { b.release(w) }
+	})
+}
+
+// ObserveFrom is RunFromContext's scalar form: the completed observations
+// in trial order, with no Metrics map per trial — the executor the
+// adaptive sweep engine's batched sources wrap.
+func (b *BatchRunner) ObserveFrom(ctx context.Context, start, count int, obs NetObservable) ([]float64, error) {
+	return b.runner().scalarsFromWorkers(ctx, start, count, func() (ScalarTrial, func()) {
+		w := b.acquire()
+		return func(i int, r *rng.Stream) float64 {
+			return obs(i, w.instance(r), r)
+		}, func() { b.release(w) }
+	})
+}

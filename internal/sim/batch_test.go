@@ -1,0 +1,177 @@
+package sim_test
+
+// Differential coverage for the batched trial engine: BatchRunner must be
+// bit-identical to the rebuild path — a plain Runner whose trial body
+// builds avail.Network from scratch — across every registered availability
+// model, every worker count, and the degenerate substrates n = 0 and 1.
+// This file lives in package sim_test so it can exercise sim together with
+// avail and temporal the way the experiment drivers do.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/avail"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/temporal"
+)
+
+// measureNet is a metrics-rich trial body: reachability, arrival mass from
+// a sampled source, label count, plus a post-measurement stream draw so
+// stream-state divergence between the paths cannot hide.
+func measureNet(trial int, net *temporal.Network, r *rng.Stream) sim.Metrics {
+	nv := net.Graph().N()
+	mt := sim.Metrics{
+		"labels": float64(net.LabelCount()),
+		"tail":   float64(r.Uint64() % 1000),
+	}
+	if nv == 0 {
+		return mt
+	}
+	arr := make([]int32, nv)
+	src := r.Intn(nv)
+	reached := net.EarliestArrivalsInto(src, arr)
+	sum := 0.0
+	for _, a := range arr {
+		if a != temporal.Unreachable {
+			sum += float64(a)
+		}
+	}
+	mt["reached"] = float64(reached)
+	mt["arrsum"] = sum
+	if temporal.SatisfiesTreachSerial(net, nil) {
+		mt["treach"] = 1
+	} else {
+		mt["treach"] = 0
+	}
+	return mt
+}
+
+// assertResultsEqual compares two Results metric by metric, value by value.
+func assertResultsEqual(t *testing.T, name string, got, want *sim.Results) {
+	t.Helper()
+	if got.Trials() != want.Trials() {
+		t.Fatalf("%s: %d trials, want %d", name, got.Trials(), want.Trials())
+	}
+	gn, wn := got.Names(), want.Names()
+	if fmt.Sprint(gn) != fmt.Sprint(wn) {
+		t.Fatalf("%s: metrics %v, want %v", name, gn, wn)
+	}
+	for _, metric := range wn {
+		gv, wv := got.Sample(metric).Values(), want.Sample(metric).Values()
+		if len(gv) != len(wv) {
+			t.Fatalf("%s: metric %s has %d values, want %d", name, metric, len(gv), len(wv))
+		}
+		for i := range wv {
+			if gv[i] != wv[i] {
+				t.Fatalf("%s: metric %s value %d = %v, want %v", name, metric, i, gv[i], wv[i])
+			}
+		}
+	}
+}
+
+// TestBatchRunnerMatchesRebuild is the engine's differential property
+// test: for every registered model (resampling and rebuild-fallback alike)
+// and Workers ∈ {1, 4, GOMAXPROCS}, BatchRunner reproduces the rebuild
+// oracle bit-identically, including on the n = 0 and n = 1 substrates.
+func TestBatchRunnerMatchesRebuild(t *testing.T) {
+	substrates := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"empty", graph.NewBuilder(0, false).Build()},
+		{"single", graph.Clique(1, false)},
+		{"dclique10", graph.Clique(10, true)},
+		{"grid3x4", graph.Grid(3, 4)},
+	}
+	const trials, seed = 24, 99
+	for _, name := range avail.Names() {
+		m, err := avail.Build(name, avail.Params{Lifetime: 12})
+		if err != nil {
+			t.Fatalf("Build(%q): %v", name, err)
+		}
+		for _, sub := range substrates {
+			// The rebuild oracle: the exact trial body BatchRunner replaces.
+			want := sim.Runner{Trials: trials, Seed: seed}.Run(func(trial int, r *rng.Stream) sim.Metrics {
+				return measureNet(trial, avail.Network(m, sub.g, r), r)
+			})
+			for _, workers := range []int{1, 4, 0} { // 0 = GOMAXPROCS
+				b := sim.BatchRunner{Model: m, Substrate: sub.g, Seed: seed, Workers: workers}
+				got, err := b.RunFromContext(context.Background(), 0, trials, measureNet)
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", name, sub.name, workers, err)
+				}
+				assertResultsEqual(t, fmt.Sprintf("%s/%s workers=%d", name, sub.name, workers), got, want)
+			}
+		}
+	}
+}
+
+// TestBatchRunnerObserveFromMatchesScalars pins the scalar path — the one
+// the adaptive sweep engine's sources use — against the Runner scalar path
+// and against RunFromContext's range semantics (split ranges concatenate).
+func TestBatchRunnerObserveFromMatchesScalars(t *testing.T) {
+	g := graph.Clique(8, true)
+	m, err := avail.Build("markov", avail.Params{Lifetime: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := func(trial int, net *temporal.Network, r *rng.Stream) float64 {
+		if temporal.SatisfiesTreachSerial(net, nil) {
+			return 1
+		}
+		return 0
+	}
+	want, err := sim.Runner{Seed: 5}.ScalarsFromContext(context.Background(), 0, 40,
+		func(trial int, r *rng.Stream) float64 {
+			return obs(trial, avail.Network(m, g, r), r)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 0} {
+		b := sim.BatchRunner{Model: m, Substrate: g, Seed: 5, Workers: workers}
+		head, err := b.ObserveFrom(context.Background(), 0, 15, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail, err := b.ObserveFrom(context.Background(), 15, 25, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := append(append([]float64{}, head...), tail...)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d observations, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: observation %d = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchRunnerPanicPropagates pins runLoop's panic contract on the
+// batched path: a panicking trial re-raises on the caller.
+func TestBatchRunnerPanicPropagates(t *testing.T) {
+	g := graph.Clique(4, true)
+	m, err := avail.Build("uniform", avail.Params{Lifetime: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("trial panic did not propagate")
+		}
+	}()
+	b := sim.BatchRunner{Model: m, Substrate: g, Seed: 1}
+	b.Run(8, func(trial int, net *temporal.Network, r *rng.Stream) sim.Metrics {
+		if trial == 5 {
+			panic("boom")
+		}
+		return sim.Metrics{"x": 1}
+	})
+}

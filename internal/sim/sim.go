@@ -6,6 +6,13 @@
 // rng.NewStream(seed, i), and aggregation happens in trial order after all
 // workers finish, so results are bit-identical for any worker count or
 // scheduling.
+//
+// Two executors share that contract: Runner, the general harness (with a
+// scalar fast path, ScalarsFromContext, for single-valued observables),
+// and BatchRunner (batch.go), the batched trial engine for the
+// fixed-substrate availability-model workload — per-worker networks
+// relabeled in place instead of rebuilt, bit-identical to the rebuild
+// path.
 package sim
 
 import (
@@ -81,9 +88,31 @@ func (c Runner) RunFrom(start, count int, trial Trial) *Results {
 // RunFromContext is RunFrom under a context, with RunContext's
 // cancellation and panic semantics.
 func (c Runner) RunFromContext(ctx context.Context, start, count int, trial Trial) (*Results, error) {
-	if start < 0 || count < 0 {
-		panic("sim: negative trial range")
-	}
+	return c.runFromWorkers(ctx, start, count, func() (Trial, func()) { return trial, nil })
+}
+
+// ScalarTrial is a single-valued trial body: one observation per trial.
+type ScalarTrial func(trial int, r *rng.Stream) float64
+
+// ScalarsFromContext runs the count trials with global indices start, …,
+// start+count−1 under RunFromContext's determinism, cancellation and panic
+// contract, returning the completed observations in trial order. It is the
+// allocation-lean core the adaptive sweep engine (internal/sweep) batches
+// through: no Metrics map per trial, one float64 slot instead.
+func (c Runner) ScalarsFromContext(ctx context.Context, start, count int, trial ScalarTrial) ([]float64, error) {
+	return c.scalarsFromWorkers(ctx, start, count, func() (ScalarTrial, func()) { return trial, nil })
+}
+
+// runLoop is the claim-execute core every run variant shares: workers
+// claim trial offsets 0 … count−1 in atomic order; makeRun is invoked once
+// per worker goroutine — per-worker reusable state, such as BatchRunner's
+// substrate + time-edge index, lives in the returned closure — and the
+// body executes one offset, storing its own result. Because per-trial
+// randomness depends only on the global trial index, worker count and
+// claim order never change any number. A panic in a body aborts the
+// remaining trials and is re-raised on the calling goroutine; the returned
+// flags report which offsets completed.
+func (c Runner) runLoop(ctx context.Context, count int, makeRun func() (run func(offset int), done func())) []bool {
 	workers := c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -93,7 +122,6 @@ func (c Runner) RunFromContext(ctx context.Context, start, count int, trial Tria
 	}
 	abort, cancelAbort := context.WithCancel(ctx)
 	defer cancelAbort()
-	perTrial := make([]Metrics, count)
 	completed := make([]bool, count)
 	var panicOnce sync.Once
 	var panicked any
@@ -103,6 +131,10 @@ func (c Runner) RunFromContext(ctx context.Context, start, count int, trial Tria
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			run, done := makeRun()
+			if done != nil {
+				defer done()
+			}
 			for abort.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1) - 1)
 				if i >= count {
@@ -115,8 +147,7 @@ func (c Runner) RunFromContext(ctx context.Context, start, count int, trial Tria
 							cancelAbort()
 						}
 					}()
-					g := start + i
-					perTrial[i] = trial(g, rng.NewStream(c.Seed, uint64(g)))
+					run(i)
 					completed[i] = true
 				}()
 				if completed[i] && c.OnTrial != nil {
@@ -129,6 +160,25 @@ func (c Runner) RunFromContext(ctx context.Context, start, count int, trial Tria
 	if panicked != nil {
 		panic(panicked)
 	}
+	return completed
+}
+
+// runFromWorkers is RunFromContext with a per-worker trial factory; the
+// optional done hook returned alongside the trial runs when its worker
+// goroutine exits (BatchRunner releases worker state back to its free
+// list there).
+func (c Runner) runFromWorkers(ctx context.Context, start, count int, makeTrial func() (Trial, func())) (*Results, error) {
+	if start < 0 || count < 0 {
+		panic("sim: negative trial range")
+	}
+	perTrial := make([]Metrics, count)
+	completed := c.runLoop(ctx, count, func() (func(int), func()) {
+		trial, done := makeTrial()
+		return func(i int) {
+			g := start + i
+			perTrial[i] = trial(g, rng.NewStream(c.Seed, uint64(g)))
+		}, done
+	})
 
 	// Aggregate after all workers finish, feeding each Sample in trial
 	// order, so results are bit-exact regardless of scheduling.
@@ -160,6 +210,31 @@ func (c Runner) RunFromContext(ctx context.Context, start, count int, trial Tria
 		}
 	}
 	return res, ctx.Err()
+}
+
+// scalarsFromWorkers is ScalarsFromContext with a per-worker trial
+// factory, with runFromWorkers's done-hook contract.
+func (c Runner) scalarsFromWorkers(ctx context.Context, start, count int, makeTrial func() (ScalarTrial, func())) ([]float64, error) {
+	if start < 0 || count < 0 {
+		panic("sim: negative trial range")
+	}
+	vals := make([]float64, count)
+	completed := c.runLoop(ctx, count, func() (func(int), func()) {
+		trial, done := makeTrial()
+		return func(i int) {
+			g := start + i
+			vals[i] = trial(g, rng.NewStream(c.Seed, uint64(g)))
+		}, done
+	})
+	// Compact to completed trials in trial order (in place: the write
+	// index never passes the read index).
+	out := vals[:0]
+	for i, done := range completed {
+		if done {
+			out = append(out, vals[i])
+		}
+	}
+	return out, ctx.Err()
 }
 
 // Results aggregates per-metric samples from a run.

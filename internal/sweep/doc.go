@@ -33,4 +33,16 @@
 // the union of a split run's cells is bit-identical to an uninterrupted
 // run, no matter where the split fell. A checkpoint whose fingerprint
 // does not match the spec is rejected rather than silently mixed.
+//
+// # Execution sources
+//
+// How trials execute is swappable without touching any number: a Source
+// supplies the observations for a trial range (Adaptive.EstimateSource),
+// and a CellSource builds one per grid cell (Sweep.Source) or per
+// bisection probe (Threshold.FindAdaptiveSource). The default source is a
+// plain sim.Runner over the observable; the batched source
+// (experiments.SweepTarget.Source, backed by sim.BatchRunner) amortizes
+// substrate and index construction across a cell's trials. Conforming
+// sources are bit-identical per cell, so SpecKey deliberately ignores
+// them.
 package sweep

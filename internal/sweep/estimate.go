@@ -118,6 +118,21 @@ type Estimate struct {
 // `trial`), so observations are bit-deterministic per (seed, trial).
 type Observable func(trial int, r *rng.Stream) float64
 
+// Source executes the trials with global indices start, …, start+count−1
+// and returns the completed observations in trial order. It is the
+// executor the adaptive loop batches through when the default
+// sim.Runner-backed one is not enough — most importantly the batched trial
+// engine (sim.BatchRunner.ObserveFrom), which amortizes substrate and
+// index construction across a cell's trials.
+//
+// A Source owns the whole determinism contract for its trials: observation
+// i must be a function only of (its seed, i), never of worker count or
+// scheduling — a conforming source changes how fast an estimate is
+// computed, never its value, which is why SpecKey does not mention it. On
+// cancellation it returns the completed prefix-in-order along with the
+// context's error, exactly as sim.Runner.ScalarsFromContext does.
+type Source func(ctx context.Context, start, count int) ([]float64, error)
+
 // Adaptive runs the CI-driven trial loop for one response.
 type Adaptive struct {
 	// Seed is the base seed; trial i draws from rng.NewStream(Seed, i).
@@ -137,14 +152,24 @@ type Adaptive struct {
 	OnTrial func()
 }
 
-const metricName = "x"
-
 // Estimate runs batches of trials until the confidence interval meets the
 // precision target or MaxTrials is consumed. The returned Estimate is a
 // pure function of (Seed, Kind, Prec) — never of Workers or ctx timing; a
 // cancelled loop returns the estimate over the trials that completed along
 // with the context's error.
 func (a Adaptive) Estimate(ctx context.Context, obs Observable) (Estimate, error) {
+	runner := sim.Runner{Seed: a.Seed, Workers: a.Workers, OnTrial: a.OnTrial}
+	return a.EstimateSource(ctx, func(ctx context.Context, start, count int) ([]float64, error) {
+		return runner.ScalarsFromContext(ctx, start, count, sim.ScalarTrial(obs))
+	})
+}
+
+// EstimateSource is Estimate batching through an explicit trial source
+// instead of the default sim.Runner-backed one — the entry point for
+// batched execution (see Source). The Adaptive's Seed, Workers and OnTrial
+// are not consulted: a source carries its own; conforming sources make the
+// returned Estimate identical to Estimate over the equivalent Observable.
+func (a Adaptive) EstimateSource(ctx context.Context, src Source) (Estimate, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -169,15 +194,12 @@ func (a Adaptive) Estimate(ctx context.Context, obs Observable) (Estimate, error
 	var w stats.Welford
 	successes := 0
 	est := Estimate{Kind: kind}
-	runner := sim.Runner{Seed: a.Seed, Workers: a.Workers, OnTrial: a.OnTrial}
 	for w.N() < p.MaxTrials {
 		batch := nextBatch(w.N(), est, p)
-		res, runErr := runner.RunFromContext(ctx, w.N(), batch, func(trial int, r *rng.Stream) sim.Metrics {
-			return sim.Metrics{metricName: obs(trial, r)}
-		})
+		vals, runErr := src(ctx, w.N(), batch)
 		// Fold in trial order: the estimator state stays a pure fold over
 		// the observation sequence (see the package determinism contract).
-		for _, v := range res.Sample(metricName).Values() {
+		for _, v := range vals {
 			if math.IsNaN(v) {
 				// The contract for "this point cannot be measured" (e.g.
 				// infeasible model parameters): fail the estimate loudly

@@ -166,6 +166,17 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 // treated as read-only.
 type CellObservable func(values map[string]float64, trial int, r *rng.Stream) float64
 
+// CellSource builds the trial source for one grid cell: values is the
+// cell's axis assignment, seed its CellSeed-derived base seed, and workers
+// and onTrial the sweep's parallelism bound and per-trial progress hook,
+// which the source must honor in place of the Adaptive's own (see
+// Adaptive.EstimateSource). This is the batched-execution hook: a factory
+// typically builds the cell's model and substrate once and returns a
+// sim.BatchRunner-backed source, so every trial of the cell relabels one
+// per-worker network in place (experiments.SweepTarget.Source does exactly
+// that). Conforming sources never change a cell's numbers, only its speed.
+type CellSource func(values map[string]float64, seed uint64, workers int, onTrial func()) Source
+
 // Sweep runs an adaptive estimate per grid cell.
 type Sweep struct {
 	// Grid enumerates the cells.
@@ -186,6 +197,13 @@ type Sweep struct {
 	// OnTrial, when non-nil, fires per completed trial from worker
 	// goroutines; it must be safe for concurrent use.
 	OnTrial func()
+	// Source, when non-nil, supplies a per-cell trial source and takes
+	// precedence over the observable passed to Run (which may then be
+	// nil). Sources only change execution speed, never results, so Source
+	// is deliberately absent from SpecKey — a checkpoint written by the
+	// observable path resumes bit-identically under a conforming Source
+	// and vice versa.
+	Source CellSource
 }
 
 // SpecKey is the canonical fingerprint of everything that determines the
@@ -207,7 +225,8 @@ func (s Sweep) SpecKey() string {
 // prior may be nil (fresh run); a prior from a different SpecKey is an
 // error. On cancellation the checkpoint holds the cells completed so far
 // and is valid to resume from; the in-progress cell is discarded (cells
-// are the resume granularity).
+// are the resume granularity). When s.Source is set it supplies each
+// cell's trials and obs may be nil.
 func (s Sweep) Run(ctx context.Context, prior *Checkpoint, obs CellObservable) (*Checkpoint, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -242,16 +261,23 @@ func (s Sweep) Run(ctx context.Context, prior *Checkpoint, obs CellObservable) (
 			return cp, err
 		}
 		values := s.Grid.Values(idx)
+		seed := CellSeed(s.Seed, idx)
 		a := Adaptive{
-			Seed:    CellSeed(s.Seed, idx),
+			Seed:    seed,
 			Workers: s.Workers,
 			Kind:    s.Kind,
 			Prec:    s.Prec,
 			OnTrial: s.OnTrial,
 		}
-		est, err := a.Estimate(ctx, func(trial int, r *rng.Stream) float64 {
-			return obs(values, trial, r)
-		})
+		var est Estimate
+		var err error
+		if s.Source != nil {
+			est, err = a.EstimateSource(ctx, s.Source(values, seed, s.Workers, s.OnTrial))
+		} else {
+			est, err = a.Estimate(ctx, func(trial int, r *rng.Stream) float64 {
+				return obs(values, trial, r)
+			})
+		}
 		if err != nil {
 			sortCells(cp.Cells)
 			return cp, err

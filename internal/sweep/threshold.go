@@ -152,9 +152,27 @@ func (t Threshold) Find(f Response) (Crossing, error) {
 // MaxEvals by one). trials totals the spend across every probe. This is
 // the shared harness behind E18's c* search and cmd/sweep's threshold
 // mode.
-func (t Threshold) FindAdaptive(ctx context.Context, a Adaptive, obs func(x float64) Observable) (cr Crossing, at Estimate, trials int, err error) {
+func (t Threshold) FindAdaptive(ctx context.Context, a Adaptive, obs func(x float64) Observable) (Crossing, Estimate, int, error) {
+	return t.findAdaptive(func(x float64) (Estimate, error) {
+		return a.Estimate(ctx, obs(x))
+	})
+}
+
+// FindAdaptiveSource is FindAdaptive with each probe's trials supplied by
+// a Source built for that knob value (see Adaptive.EstimateSource) — the
+// batched-execution form: src(x) typically binds a model built for x to a
+// sim.BatchRunner so every probe relabels per-worker networks in place.
+// Common random numbers still hold: all probes share a's seed through
+// their sources' construction, which the factory must preserve.
+func (t Threshold) FindAdaptiveSource(ctx context.Context, a Adaptive, src func(x float64) Source) (Crossing, Estimate, int, error) {
+	return t.findAdaptive(func(x float64) (Estimate, error) {
+		return a.EstimateSource(ctx, src(x))
+	})
+}
+
+func (t Threshold) findAdaptive(estimate func(x float64) (Estimate, error)) (cr Crossing, at Estimate, trials int, err error) {
 	eval := func(x float64) (float64, error) {
-		est, err := a.Estimate(ctx, obs(x))
+		est, err := estimate(x)
 		trials += est.N
 		at = est
 		return est.Point, err

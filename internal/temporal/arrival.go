@@ -41,6 +41,7 @@ func (n *Network) EarliestArrivalsLinearInto(s int, arr []int32) int {
 // work done (time edges visited plus the n-sized init), the linear side of
 // the all-pairs kernel race.
 func (n *Network) earliestArrivalsLinear(s int, arr []int32) (reachedCount, work int) {
+	n.ensureTimeEdges()
 	for i := range arr {
 		arr[i] = Unreachable
 	}

@@ -84,6 +84,7 @@ func (sc *engineScratch) buckets(d int) []int32 {
 // bucket iteration, scratch size — is O(distinct labels) ≤ O(M) and
 // independent of the lifetime.
 func (n *Network) earliestArrivalsFrontier(s int, start int32, arr, pred []int32, sc *engineScratch) (reachedCount, work int) {
+	n.ensureVertexTimeEdges()
 	for i := range arr {
 		arr[i] = Unreachable
 	}

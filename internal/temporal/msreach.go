@@ -58,6 +58,7 @@ func fullMask(k int) uint64 { return ^uint64(0) >> (64 - uint(k)) }
 // temporalReachWords fills sc.cur[v] with a bit per source whose journeys
 // reach v. sources must hold between 1 and 64 vertices.
 func (n *Network) temporalReachWords(sources []int32, sc *reachScratch) {
+	n.ensureTimeEdges()
 	nv := n.g.N()
 	sc.ensure(nv)
 	cur, pend := sc.cur[:nv], sc.pend[:nv]

@@ -30,13 +30,18 @@
 //     single-pass scan, kept as the differential-testing oracle.
 //
 // All public entry points draw their work arrays from a sync.Pool-backed
-// scratch layer, so steady-state queries allocate nothing.
+// scratch layer, so steady-state queries allocate nothing. For Monte-Carlo
+// workloads that hold the substrate fixed and only resample availability,
+// Relabel rebuilds all indexes in place over the existing buffers, so a
+// steady-state trial allocates nothing either (see sim.BatchRunner).
 package temporal
 
 import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
@@ -51,6 +56,22 @@ const Unreachable int32 = 1<<31 - 1
 type Labeling struct {
 	Off    []int32
 	Labels []int32
+}
+
+// Reset prepares lab to be refilled for a graph of m edges, reusing its
+// backing arrays: Off is resized to m+1 with Off[0] = 0 (the remaining
+// offsets are unspecified until the caller fills them) and Labels is
+// truncated to length zero so appends reuse its capacity. This is the
+// buffer discipline avail.Resampler implementations build on — after the
+// first few draws a resample loop allocates nothing.
+func (lab *Labeling) Reset(m int) {
+	if cap(lab.Off) < m+1 {
+		lab.Off = make([]int32, m+1)
+	} else {
+		lab.Off = lab.Off[:m+1]
+	}
+	lab.Off[0] = 0
+	lab.Labels = lab.Labels[:0]
 }
 
 // LabelingFromSets converts an explicit per-edge label-set slice into CSR
@@ -71,8 +92,11 @@ func LabelingFromSets(sets [][]int) Labeling {
 	return Labeling{Off: off, Labels: labels}
 }
 
-// Network is an immutable ephemeral temporal network: a static graph plus a
-// label assignment with all labels in {1, …, Lifetime()}.
+// Network is an ephemeral temporal network: a static graph plus a label
+// assignment with all labels in {1, …, Lifetime()}. The graph and lifetime
+// are immutable; the labels can be replaced wholesale through Relabel,
+// which rebuilds every index in place — the batched Monte-Carlo path that
+// holds the substrate fixed and resamples availability per trial.
 type Network struct {
 	g        *graph.Graph
 	lifetime int32
@@ -102,6 +126,71 @@ type Network struct {
 	vteOff    []int32
 	vtePacked []uint64
 	vteEdge   []int32
+
+	// Relabel scratch, retained so steady-state relabeling allocates
+	// nothing: teCounts is the counting-sort histogram, vtePos the
+	// per-vertex fill cursor. histValid marks teCounts as holding the
+	// current labels' histogram (Relabel computes it while copying, so the
+	// lazy time-edge build can skip its counting pass).
+	teCounts  []int32
+	vtePos    []int32
+	histValid bool
+
+	// Lazy index state. Relabel only copies the labels; the per-edge label
+	// sort and the two derived indexes are redone on first use, so a trial
+	// that only runs the bit-parallel kernel (the time-edge list) never
+	// pays for the per-vertex CSR or the per-edge sort, and vice versa.
+	// (The derived indexes do not depend on per-edge label order: the
+	// counting sort places each (edge, label) pair by its label value, and
+	// equal pairs are interchangeable, so sortedness only matters to the
+	// per-edge query surface — EdgeLabels, LabelIn.) The clean flags use
+	// double-checked locking around idxMu, so concurrent queries on a
+	// relabeled network remain safe — whichever caller arrives first
+	// builds, everyone else proceeds after the atomic acquire.
+	idxMu     sync.Mutex
+	teClean   atomic.Bool
+	vteClean  atomic.Bool
+	labSorted atomic.Bool
+}
+
+// validateLabelingShape checks the CSR offset invariants New and Relabel
+// both require; the label-range check is separate because Relabel fuses it
+// with its histogram pass.
+func validateLabelingShape(m int, lab Labeling) error {
+	if len(lab.Off) != m+1 {
+		return fmt.Errorf("temporal: labeling has %d offsets, want %d", len(lab.Off), m+1)
+	}
+	if lab.Off[0] != 0 || int(lab.Off[m]) != len(lab.Labels) {
+		return fmt.Errorf("temporal: labeling offsets do not cover %d labels", len(lab.Labels))
+	}
+	for e := 0; e < m; e++ {
+		if lab.Off[e] > lab.Off[e+1] {
+			return fmt.Errorf("temporal: labeling offsets decrease at edge %d", e)
+		}
+	}
+	return nil
+}
+
+// validateLabeling is the full check: shape plus label range.
+func validateLabeling(m, lifetime int, lab Labeling) error {
+	if err := validateLabelingShape(m, lab); err != nil {
+		return err
+	}
+	for _, l := range lab.Labels {
+		if l < 1 || int(l) > lifetime {
+			return fmt.Errorf("temporal: label %d outside [1,%d]", l, lifetime)
+		}
+	}
+	return nil
+}
+
+// growI32 returns s resized to length n, reusing its backing array when
+// the capacity allows; contents are unspecified.
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }
 
 // New assembles a temporal network from a graph and a labeling. It verifies
@@ -111,28 +200,122 @@ func New(g *graph.Graph, lifetime int, lab Labeling) (*Network, error) {
 	if lifetime < 1 {
 		return nil, fmt.Errorf("temporal: lifetime %d < 1", lifetime)
 	}
-	m := g.M()
-	if len(lab.Off) != m+1 {
-		return nil, fmt.Errorf("temporal: labeling has %d offsets, want %d", len(lab.Off), m+1)
-	}
-	if lab.Off[0] != 0 || int(lab.Off[m]) != len(lab.Labels) {
-		return nil, fmt.Errorf("temporal: labeling offsets do not cover %d labels", len(lab.Labels))
-	}
-	for e := 0; e < m; e++ {
-		if lab.Off[e] > lab.Off[e+1] {
-			return nil, fmt.Errorf("temporal: labeling offsets decrease at edge %d", e)
-		}
-	}
-	for _, l := range lab.Labels {
-		if l < 1 || int(l) > lifetime {
-			return nil, fmt.Errorf("temporal: label %d outside [1,%d]", l, lifetime)
-		}
+	if err := validateLabeling(g.M(), lifetime, lab); err != nil {
+		return nil, err
 	}
 	n := &Network{g: g, lifetime: int32(lifetime), off: lab.Off, labels: lab.Labels}
 	n.sortPerEdge()
 	n.buildTimeEdges()
 	n.buildVertexTimeEdges()
+	n.labSorted.Store(true)
+	n.teClean.Store(true)
+	n.vteClean.Store(true)
 	return n, nil
+}
+
+// Relabel replaces the network's label assignment in place — the batched
+// trial engine's hot path (sim.BatchRunner). The labeling is copied (its
+// histogram is computed during the copy) and each edge's labels are
+// re-sorted — only per-edge runs are ever sorted; the global order comes
+// from a counting sort, the per-vertex CSR from a label-ordered scan. The
+// two derived indexes are then rebuilt lazily over the existing buffers on
+// first kernel use: a trial that only runs the bit-parallel reachability
+// kernel never pays for the per-vertex CSR, one that only runs the
+// frontier kernel pays for it exactly once. Every kernel reads only those
+// indexes, so queries after Relabel are bit-identical to queries on
+// MustNew(Graph(), Lifetime(), lab) — pinned by the differential tests —
+// while a steady-state Relabel (a labeling no larger than the biggest one
+// seen so far) allocates nothing.
+//
+// lab is not retained: callers may overwrite its backing arrays
+// immediately, which is what avail.Resampler implementations do between
+// trials. Validation matches New and runs before any mutation, so a failed
+// Relabel leaves the network unchanged. The substrate graph and the
+// lifetime are fixed at construction; only the labels move. Slices
+// previously returned by EdgeLabels are invalidated; networks from
+// Reverse are unaffected (they share no mutable state).
+//
+// Relabel itself requires exclusive access (no concurrent queries), like
+// any write; afterwards concurrent queries are safe — the lazy index
+// rebuild is guarded by double-checked locking.
+func (n *Network) Relabel(lab Labeling) error {
+	if err := validateLabelingShape(n.g.M(), lab); err != nil {
+		return err
+	}
+	// Fused range validation + histogram, into scratch only — the network
+	// is untouched until the labeling is known good — and the lazy
+	// time-edge build starts from exactly this counting pass, so it later
+	// skips its own.
+	counts := growI32(n.teCounts, int(n.lifetime)+2)
+	clear(counts)
+	n.teCounts = counts
+	n.histValid = false
+	for _, l := range lab.Labels {
+		if l < 1 || l > n.lifetime {
+			return fmt.Errorf("temporal: label %d outside [1,%d]", l, n.lifetime)
+		}
+		counts[l+1]++
+	}
+	n.histValid = true
+	n.off = growI32(n.off, len(lab.Off))
+	copy(n.off, lab.Off)
+	n.labels = growI32(n.labels, len(lab.Labels))
+	copy(n.labels, lab.Labels)
+	n.labSorted.Store(false)
+	n.teClean.Store(false)
+	n.vteClean.Store(false)
+	return nil
+}
+
+// ensureSortedLabels re-sorts each edge's label run if a Relabel left them
+// unsorted; only the per-edge query surface needs this (the derived
+// indexes are order-independent), so relabeled trials that never ask
+// per-edge questions never pay for it.
+func (n *Network) ensureSortedLabels() {
+	if n.labSorted.Load() {
+		return
+	}
+	n.idxMu.Lock()
+	if !n.labSorted.Load() {
+		n.sortPerEdge()
+		n.labSorted.Store(true)
+	}
+	n.idxMu.Unlock()
+}
+
+// ensureTimeEdges rebuilds the label-sorted global time-edge list if a
+// Relabel invalidated it. Double-checked: the atomic fast path costs one
+// load when clean; dirty concurrent callers serialize on idxMu and the
+// winner builds.
+func (n *Network) ensureTimeEdges() {
+	if n.teClean.Load() {
+		return
+	}
+	n.idxMu.Lock()
+	if !n.teClean.Load() {
+		n.buildTimeEdges()
+		n.teClean.Store(true)
+	}
+	n.idxMu.Unlock()
+}
+
+// ensureVertexTimeEdges rebuilds the per-vertex CSR (and the distinct-label
+// array) if a Relabel invalidated it; the build scans the global list, so
+// it brings that up to date first.
+func (n *Network) ensureVertexTimeEdges() {
+	if n.vteClean.Load() {
+		return
+	}
+	n.idxMu.Lock()
+	if !n.vteClean.Load() {
+		if !n.teClean.Load() {
+			n.buildTimeEdges()
+			n.teClean.Store(true)
+		}
+		n.buildVertexTimeEdges()
+		n.vteClean.Store(true)
+	}
+	n.idxMu.Unlock()
 }
 
 // MustNew is New for callers whose labeling is correct by construction
@@ -154,32 +337,52 @@ func (n *Network) sortPerEdge() {
 	}
 }
 
-// buildTimeEdges counting-sorts all (edge, label) pairs by label.
+// buildTimeEdges counting-sorts all (edge, label) pairs by label. All
+// output and scratch arrays are reused across Relabel calls; a histogram
+// Relabel computed while copying the labels (histValid) is consumed
+// instead of re-counted. The label column is filled by a sequential
+// run-length pass after the edge scatter — same contents, one random write
+// stream instead of two.
 func (n *Network) buildTimeEdges() {
 	total := len(n.labels)
-	counts := make([]int32, n.lifetime+2)
-	for _, l := range n.labels {
-		counts[l+1]++
+	counts := growI32(n.teCounts, int(n.lifetime)+2)
+	n.teCounts = counts
+	if !n.histValid {
+		clear(counts)
+		for _, l := range n.labels {
+			counts[l+1]++
+		}
 	}
+	n.histValid = false // the prefix/scatter below consumes the histogram
 	for i := int32(1); i < n.lifetime+2; i++ {
 		counts[i] += counts[i-1]
 	}
-	n.teEdge = make([]int32, total)
-	n.teLabel = make([]int32, total)
+	n.teEdge = growI32(n.teEdge, total)
+	n.teLabel = growI32(n.teLabel, total)
 	for e := 0; e < n.g.M(); e++ {
 		for i := n.off[e]; i < n.off[e+1]; i++ {
 			l := n.labels[i]
 			p := counts[l]
 			counts[l] = p + 1
 			n.teEdge[p] = int32(e)
+		}
+	}
+	// After the scatter counts[l] is the end of label l's run (and
+	// counts[0] is still 0), so the label column falls out sequentially.
+	prev := int32(0)
+	for l := int32(1); l <= n.lifetime; l++ {
+		end := counts[l]
+		for p := prev; p < end; p++ {
 			n.teLabel[p] = l
 		}
+		prev = end
 	}
 }
 
 // buildVertexTimeEdges builds the per-vertex time-edge CSR. Filling it by a
 // scan of the already label-sorted global list leaves every vertex's
-// segment sorted by label with no further sorting.
+// segment sorted by label with no further sorting. All output and scratch
+// arrays are reused across Relabel calls.
 func (n *Network) buildVertexTimeEdges() {
 	nv := n.g.N()
 	directed := n.g.Directed()
@@ -188,7 +391,8 @@ func (n *Network) buildVertexTimeEdges() {
 		size *= 2
 	}
 	from, to := n.g.FromArray(), n.g.ToArray()
-	off := make([]int32, nv+1)
+	off := growI32(n.vteOff, nv+1)
+	clear(off)
 	for e := 0; e < n.g.M(); e++ {
 		c := n.off[e+1] - n.off[e]
 		off[from[e]+1] += c
@@ -199,13 +403,19 @@ func (n *Network) buildVertexTimeEdges() {
 	for i := 0; i < nv; i++ {
 		off[i+1] += off[i]
 	}
-	packed := make([]uint64, size)
-	eid := make([]int32, size)
-	pos := make([]int32, nv)
+	packed := n.vtePacked
+	if cap(packed) < size {
+		packed = make([]uint64, size)
+	} else {
+		packed = packed[:size]
+	}
+	eid := growI32(n.vteEdge, size)
+	pos := growI32(n.vtePos, nv)
+	n.vtePos = pos
 	copy(pos, off[:nv])
 	// The global list is label-sorted, so distinct labels and their ranks
 	// fall out of one scan.
-	var distinct []int32
+	distinct := n.distinct[:0]
 	rank := uint64(0)
 	for i, e := range n.teEdge {
 		l := n.teLabel[i]
@@ -264,8 +474,9 @@ func (n *Network) Lifetime() int { return int(n.lifetime) }
 func (n *Network) LabelCount() int { return len(n.labels) }
 
 // EdgeLabels returns edge e's labels sorted ascending. The slice is shared
-// and must not be modified.
+// and must not be modified; a Relabel invalidates it.
 func (n *Network) EdgeLabels(e int) []int32 {
+	n.ensureSortedLabels()
 	return n.labels[n.off[e]:n.off[e+1]]
 }
 
@@ -298,6 +509,7 @@ func (n *Network) FirstLabelAfter(e int, t int32) (int32, bool) {
 // non-decreasing label order. For undirected graphs the (u,v) orientation
 // is storage order; callers must treat the hop as bidirectional.
 func (n *Network) TimeEdges(fn func(e, u, v int, l int32)) {
+	n.ensureTimeEdges()
 	for i := range n.teEdge {
 		e := int(n.teEdge[i])
 		u, v := n.g.Endpoints(e)
@@ -312,13 +524,18 @@ func (n *Network) TimeEdges(fn func(e, u, v int, l int32)) {
 // latest-departure questions into earliest-arrival ones and powers the
 // reverse expansion out of t in Algorithm 1.
 func (n *Network) Reverse() *Network {
+	// Snapshot under the sorted-labels guard: without it a concurrent
+	// per-edge query could be lazily sorting n.labels in place while the
+	// copy loop below reads them.
+	n.ensureSortedLabels()
 	rg := n.g.Reverse()
-	lab := Labeling{Off: n.off, Labels: make([]int32, len(n.labels))}
+	lab := Labeling{Off: slices.Clone(n.off), Labels: make([]int32, len(n.labels))}
 	for i, l := range n.labels {
 		lab.Labels[i] = n.lifetime + 1 - l
 	}
 	// Edge ids are preserved by graph.Reverse, so the CSR offsets carry
-	// over unchanged; MustNew re-sorts per edge and rebuilds buckets.
+	// over unchanged (cloned, so a later Relabel of either network cannot
+	// reach into the other); MustNew re-sorts per edge and rebuilds buckets.
 	return MustNew(rg, int(n.lifetime), lab)
 }
 

@@ -1,0 +1,5 @@
+//go:build race
+
+package temporal_test
+
+const raceEnabled = true

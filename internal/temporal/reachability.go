@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/graph"
 )
 
 // ReachedCount returns how many vertices (including s) are reachable from s
@@ -108,6 +110,70 @@ func (s *TreachScratch) reach() *reachScratch {
 		return reachPool.Get().(*reachScratch)
 	}
 	return &s.rs
+}
+
+// StaticReach caches the substrate-only half of the Treach decision: the
+// per-batch static-reachability words of a fixed graph. The static closure
+// never changes when only the labels move, so the batched trial engine
+// computes it once per substrate and asks each relabeled trial only the
+// temporal question — on label-sparse instances the static BFS is a large
+// share of a Treach check, and this removes it from the per-trial cost
+// without changing any answer.
+type StaticReach struct {
+	g *graph.Graph
+	// words[b][v] has bit j set exactly when source b·64+j statically
+	// reaches v.
+	words [][]uint64
+}
+
+// NewStaticReach precomputes the static words for every source batch of g.
+func NewStaticReach(g *graph.Graph) *StaticReach {
+	nv := g.N()
+	sr := &StaticReach{g: g}
+	sc := reachPool.Get().(*reachScratch)
+	defer reachPool.Put(sc)
+	for lo := 0; lo < nv; lo += batchSize {
+		hi := lo + batchSize
+		if hi > nv {
+			hi = nv
+		}
+		staticReachWords(g, sc.batch(lo, hi), sc)
+		sr.words = append(sr.words, append([]uint64(nil), sc.stat[:nv]...))
+	}
+	return sr
+}
+
+// SatisfiesTreachStatic is SatisfiesTreachSerial with the static half
+// supplied by a StaticReach built for the network's substrate (it panics
+// on a substrate mismatch — silently wrong answers would be worse). The
+// answer is identical to SatisfiesTreachSerial; only the per-call cost
+// changes.
+func SatisfiesTreachStatic(n *Network, sr *StaticReach, scratch *TreachScratch) bool {
+	if sr.g != n.g {
+		panic("temporal: StaticReach built for a different substrate")
+	}
+	nv := n.g.N()
+	if nv == 0 {
+		return true
+	}
+	sc := scratch.reach()
+	if scratch == nil {
+		defer reachPool.Put(sc)
+	}
+	for b, lo := 0, 0; lo < nv; b, lo = b+1, lo+batchSize {
+		hi := lo + batchSize
+		if hi > nv {
+			hi = nv
+		}
+		n.temporalReachWords(sc.batch(lo, hi), sc)
+		stat := sr.words[b]
+		for v := 0; v < nv; v++ {
+			if stat[v]&^sc.cur[v] != 0 {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // TreachViolations counts the ordered pairs (u,v) that have a static path

@@ -32,6 +32,7 @@ func (n *Network) LatestDepartures(t int) []int32 {
 // LatestDepartures; dep must have length N(). It returns the number of
 // vertices that can reach t, counting t itself.
 func (n *Network) LatestDeparturesInto(t int, dep []int32) int {
+	n.ensureTimeEdges()
 	for i := range dep {
 		dep[i] = NoDeparture
 	}
@@ -72,6 +73,7 @@ func (n *Network) ShortestHops(s int) []int32 {
 // at v over journeys with at most h hops), which ShortestJourney uses for
 // reconstruction.
 func (n *Network) shortestLayers(s int) ([]int32, [][]int32) {
+	n.ensureTimeEdges()
 	nv := n.g.N()
 	hops := make([]int32, nv)
 	for i := range hops {
