@@ -2,7 +2,7 @@
 # the kernel benchmark trajectory as BENCH_kernels.json (see ci.yml).
 
 GO        ?= go
-BENCH     ?= BenchmarkKernel|BenchmarkSweep
+BENCH     ?= BenchmarkKernel|BenchmarkSweep|BenchmarkObs
 BENCHTIME ?= 1s
 # COVER_MIN is the post-PR-4 total-coverage baseline (84.3% measured,
 # floored with a small margin for run-to-run wobble); `make cover` fails
@@ -52,9 +52,9 @@ bench:
 
 # bench-diff is the performance-regression gate CI runs after `make
 # bench`: it compares the fresh BENCH_kernels.json against the committed
-# baseline and fails on Kernel* regressions (>30% ns/op growth or any
-# allocs/op increase). Refresh the baseline after intentional perf changes
-# with: make bench && cp BENCH_kernels.json testdata/bench_baseline.json
+# baseline and fails on Kernel* and Obs* regressions (>30% ns/op growth
+# or any allocs/op increase). Refresh the baseline after intentional perf
+# changes with: make bench && cp BENCH_kernels.json testdata/bench_baseline.json
 bench-diff:
 	$(GO) run ./cmd/benchdiff -baseline testdata/bench_baseline.json BENCH_kernels.json
 

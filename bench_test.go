@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/phonecall"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -526,6 +527,84 @@ func BenchmarkSweepRebuildIIDGnp(b *testing.B) {
 func BenchmarkSweepBatchedIIDGnp(b *testing.B) {
 	m, g := sweepBenchGnp(b)
 	sweepCellBench(b, m, g, true)
+}
+
+// --- observability micro-benchmarks -------------------------------------
+//
+// BenchmarkObs* pins the record path of the metrics layer
+// (internal/obs): a counter bump, a histogram observation and a span
+// must stay a handful of nanoseconds at 0 allocs/op, because the
+// instrumented layers (sim, temporal, service) call them from code whose
+// own benchmarks are alloc-gated. Tracked in BENCH_kernels.json and
+// gated by cmd/benchdiff alongside the Kernel* family.
+
+func BenchmarkObsCounterInc(b *testing.B) {
+	r := obs.NewRegistry()
+	c := r.Counter("bench_counter_total", "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsCounterIncParallel(b *testing.B) {
+	r := obs.NewRegistry()
+	c := r.Counter("bench_counter_par_total", "bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	r := obs.NewRegistry()
+	h := r.Histogram("bench_hist_ns", "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}
+
+// BenchmarkObsHistogramObserveParallel is the contended case the shard
+// layout exists for: every worker hammers one histogram.
+func BenchmarkObsHistogramObserveParallel(b *testing.B) {
+	r := obs.NewRegistry()
+	h := r.Histogram("bench_hist_par_ns", "bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			h.Observe(i)
+			i++
+		}
+	})
+}
+
+// BenchmarkObsVecWith measures the labeled-series lookup — the reason
+// instrumented code resolves handles once at init instead of calling
+// With per event.
+func BenchmarkObsVecWith(b *testing.B) {
+	r := obs.NewRegistry()
+	vec := r.CounterVec("bench_vec_total", "bench", "k")
+	vec.With("v").Inc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec.With("v").Inc()
+	}
+}
+
+func BenchmarkObsSpan(b *testing.B) {
+	tr := obs.NewTracer(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Start("bench.op").End()
+	}
 }
 
 // BenchmarkSweepE18CellQuick is one real sweep cell at E18 quick scale: a

@@ -3,8 +3,9 @@
 // format) against a committed baseline and exits nonzero when a gated
 // benchmark regressed.
 //
-// Gated benchmarks are the ones whose stripped name matches -gate (default
-// "Kernel", i.e. the BenchmarkKernel* family). A gated benchmark fails
+// Gated benchmarks are the ones whose stripped name starts with one of
+// the comma-separated -gate prefixes (default "Kernel,Obs", i.e. the
+// BenchmarkKernel* and BenchmarkObs* families). A gated benchmark fails
 // when
 //
 //   - its ns/op grew by more than -max-ns-regress (default 0.30 = +30%)
@@ -59,8 +60,19 @@ type Report struct {
 var (
 	baselinePath = flag.String("baseline", "testdata/bench_baseline.json", "baseline BENCH_kernels.json to compare against")
 	maxNsRegress = flag.Float64("max-ns-regress", 0.30, "maximum tolerated fractional ns/op growth on gated benchmarks")
-	gatePrefix   = flag.String("gate", "Kernel", "benchmark-name prefix (after the Benchmark prefix is stripped) that is gated")
+	gatePrefix   = flag.String("gate", "Kernel,Obs", "comma-separated benchmark-name prefixes (after the Benchmark prefix is stripped) that are gated")
 )
+
+// gatedBy reports whether name starts with any of the comma-separated
+// prefixes in gate.
+func gatedBy(name, gate string) bool {
+	for _, p := range strings.Split(gate, ",") {
+		if p != "" && strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
 
 func load(path string) (map[string]Benchmark, []string, error) {
 	data, err := os.ReadFile(path)
@@ -87,7 +99,7 @@ func load(path string) (map[string]Benchmark, []string, error) {
 func diff(base, fresh map[string]Benchmark, baseOrder []string, maxNs float64, gate string) (lines, failures []string) {
 	for _, name := range baseOrder {
 		b := base[name]
-		gated := strings.HasPrefix(name, gate)
+		gated := gatedBy(name, gate)
 		f, ok := fresh[name]
 		if !ok {
 			if gated {
@@ -147,7 +159,7 @@ func main() {
 		os.Exit(2)
 	}
 	lines, failures := diff(base, fresh, baseOrder, *maxNsRegress, *gatePrefix)
-	fmt.Printf("benchdiff: %s vs baseline %s (gate %s*, ns/op limit %+.0f%%)\n",
+	fmt.Printf("benchdiff: %s vs baseline %s (gate {%s}*, ns/op limit %+.0f%%)\n",
 		flag.Arg(0), *baselinePath, *gatePrefix, 100**maxNsRegress)
 	for _, l := range lines {
 		fmt.Println(l)

@@ -68,3 +68,25 @@ func TestDiffAllocImprovementPasses(t *testing.T) {
 		t.Fatalf("improvement flagged as regression: %v", failures)
 	}
 }
+
+// TestDiffMultiPrefixGate exercises the comma-separated gate: Kernel* and
+// Obs* both gated, Sweep* still informational.
+func TestDiffMultiPrefixGate(t *testing.T) {
+	base, order := asMaps(
+		bench("KernelX", 1000, 0),
+		bench("ObsCounterInc", 10, 0),
+		bench("SweepAdaptiveOverhead", 3000, 100),
+	)
+	fresh, _ := asMaps(
+		bench("KernelX", 1000, 0),
+		bench("ObsCounterInc", 10, 1),              // alloc regression, gated
+		bench("SweepAdaptiveOverhead", 30000, 500), // not gated
+	)
+	_, failures := diff(base, fresh, order, 0.30, "Kernel,Obs")
+	if len(failures) != 1 || !strings.Contains(failures[0], "ObsCounterInc") {
+		t.Fatalf("want only the Obs alloc regression, got %v", failures)
+	}
+	if !gatedBy("KernelX", "Kernel,Obs") || !gatedBy("ObsSpan", "Kernel,Obs") || gatedBy("SweepX", "Kernel,Obs") {
+		t.Fatal("gatedBy prefix logic wrong")
+	}
+}

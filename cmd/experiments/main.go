@@ -12,6 +12,7 @@
 //	experiments -id E16 -model pt-burst          # single schedule in E16
 //	experiments -id E15 -mp pi=0.05,runlen=6     # availability-model overrides
 //	experiments -workers 1       # serial trials (same numbers, see sim)
+//	experiments -metrics-dump    # Prometheus-text metrics to stderr at exit
 //
 // Every number printed is a deterministic function of the seed and the
 // model flags; -workers only changes scheduling, never results.
@@ -26,6 +27,7 @@ import (
 
 	"repro/internal/avail"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -38,6 +40,8 @@ func main() {
 		model   = flag.String("model", "", "availability model for the model-aware drivers (E15–E17)")
 		mp      = flag.String("mp", "", "availability-model parameter overrides, name=value[,name=value…]")
 		workers = flag.Int("workers", 0, "trial parallelism; 0 means GOMAXPROCS (results identical either way)")
+
+		metricsDump = flag.Bool("metrics-dump", false, "dump process metrics (Prometheus text) to stderr at exit")
 	)
 	flag.Parse()
 
@@ -109,5 +113,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
 			os.Exit(2)
 		}
+	}
+	if *metricsDump {
+		obs.Default().WritePrometheus(os.Stderr)
 	}
 }

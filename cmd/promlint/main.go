@@ -1,0 +1,24 @@
+// Command promlint validates Prometheus text-exposition input from stdin
+// (obs.Lint): every line must be a well-formed comment or sample and
+// every histogram family complete. It prints the sample count on success
+// and exits nonzero on the first malformed line — the parseability check
+// the CI smoke job pipes /metrics scrapes through:
+//
+//	curl -s localhost:8080/metrics | go run ./cmd/promlint
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	n, err := obs.Lint(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: %d samples ok\n", n)
+}

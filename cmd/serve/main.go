@@ -1,10 +1,10 @@
 // Command serve runs the experiment service: a JSON HTTP API over the
 // E1–E18 drivers and the adaptive sweep engine, with a bounded worker
-// pool and an LRU result cache.
+// pool, an LRU result cache, and the process observability surface.
 //
 // Usage:
 //
-//	serve -addr :8080 -workers 4 -cache 256 -queue 256
+//	serve -addr :8080 -workers 4 -cache 256 -queue 256 [-pprof]
 //
 // Endpoints (see internal/service.NewHandler):
 //
@@ -18,7 +18,10 @@
 //	GET  /sweeps/{id}               sweep status + per-cell progress
 //	GET  /sweeps/{id}/result?format=json|csv|md
 //	GET  /healthz                   liveness
-//	GET  /stats                     jobs run, cache hit rate, duration p50/p95
+//	GET  /stats                     jobs run, cache hit rate, duration p50/p95/p99
+//	GET  /metrics                   Prometheus text exposition (internal/obs)
+//	GET  /debug/trace               recent spans as JSON (internal/obs ring)
+//	     /debug/pprof/...           net/http/pprof profiles, with -pprof only
 //
 // Determinism makes the cache sound: a job's numbers depend only on its
 // canonical request — experiment (id, seed, quick, model, mp) or sweep
@@ -31,12 +34,15 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -46,15 +52,17 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrent jobs (0: half of GOMAXPROCS)")
 		cache   = flag.Int("cache", 256, "LRU result-cache capacity")
 		queue   = flag.Int("queue", 256, "job queue depth")
+		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
 	m := service.New(service.Options{Workers: *workers, CacheSize: *cache, QueueDepth: *queue})
 	defer m.Close()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      logRequests(service.NewHandler(m)),
+		Handler:      logRequests(logger, newMux(m, *pprofOn)),
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 5 * time.Minute, // full-scale results take a while to render
 	}
@@ -79,11 +87,37 @@ func main() {
 	<-drained // wait for in-flight responses before tearing down the manager
 }
 
-// logRequests is a minimal access log.
-func logRequests(next http.Handler) http.Handler {
+// newMux assembles the full handler: the service API plus the
+// observability endpoints, with the pprof handlers mounted only when
+// requested (profiling endpoints are too sharp to expose by default).
+func newMux(m *service.Manager, pprofOn bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", obs.Handler())
+	mux.Handle("GET /debug/trace", obs.TraceHandler())
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	mux.Handle("/", service.NewHandler(m))
+	return mux
+}
+
+// logRequests is the structured access log: method, path, status, body
+// bytes and wall time per request.
+func logRequests(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+		rec := obs.NewResponseRecorder(w)
+		next.ServeHTTP(rec, r)
+		logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.Status(),
+			"bytes", rec.Bytes(),
+			"duration", time.Since(start).Round(time.Microsecond),
+		)
 	})
 }

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+func testMux(t *testing.T, pprofOn bool) http.Handler {
+	t.Helper()
+	m := service.New(service.Options{Workers: 1})
+	t.Cleanup(m.Close)
+	return newMux(m, pprofOn)
+}
+
+// TestMetricsEndpoint asserts GET /metrics serves parseable Prometheus
+// text covering every instrumented layer. The instrument families are
+// registered at package init, so they are present (at zero) even before
+// any job runs.
+func TestMetricsEndpoint(t *testing.T) {
+	h := testMux(t, false)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics → %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, series := range []string{
+		"sim_trials_started_total",
+		"sim_batch_resample_trials_total",
+		`temporal_index_builds_total{index="timeedges"}`,
+		`temporal_diameter_race_total{winner="frontier"}`,
+		"sweep_cells_completed_total",
+		"sweep_batch_size_count",
+		"service_jobs_submitted_total",
+		"service_queue_depth",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("exposition missing %q", series)
+		}
+	}
+	if _, err := obs.Lint(strings.NewReader(body)); err != nil {
+		t.Fatalf("scrape unparseable: %v", err)
+	}
+}
+
+func TestDebugTraceEndpoint(t *testing.T) {
+	h := testMux(t, false)
+	obs.StartSpan("serve_test_span").End()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/trace → %d", rec.Code)
+	}
+	var dump struct {
+		Capacity int               `json:"capacity"`
+		Recorded uint64            `json:"recorded"`
+		Spans    []json.RawMessage `json:"spans"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if dump.Capacity < 1 || dump.Recorded < 1 {
+		t.Fatalf("dump = %+v", dump)
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	for _, on := range []bool{false, true} {
+		h := testMux(t, on)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+		if on && rec.Code != http.StatusOK {
+			t.Fatalf("-pprof on: GET /debug/pprof/ → %d", rec.Code)
+		}
+		if !on && rec.Code != http.StatusNotFound {
+			t.Fatalf("-pprof off: GET /debug/pprof/ → %d, want 404", rec.Code)
+		}
+	}
+}
+
+// TestAccessLog drives the logging middleware and asserts the structured
+// record carries the response's real status and byte count.
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("short and stout"))
+	})
+	rec := httptest.NewRecorder()
+	logRequests(logger, inner).ServeHTTP(rec, httptest.NewRequest("GET", "/teapot", nil))
+	if rec.Code != http.StatusTeapot || rec.Body.String() != "short and stout" {
+		t.Fatalf("middleware altered the response: %d %q", rec.Code, rec.Body.String())
+	}
+	line := buf.String()
+	for _, want := range []string{"method=GET", "path=/teapot", "status=418", "bytes=15"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access log missing %q: %s", want, line)
+		}
+	}
+}
+
+// TestConcurrentScrape races /metrics scrapes against request traffic on
+// the instrumented service mux — run under -race this is the
+// shared-registry concurrency check at the endpoint level.
+func TestConcurrentScrape(t *testing.T) {
+	h := testMux(t, false)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+			}
+		}()
+	}
+	for i := 0; i < 25; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("scrape %d → %d", i, rec.Code)
+		}
+		if _, err := obs.Lint(strings.NewReader(rec.Body.String())); err != nil {
+			t.Fatalf("scrape %d unparseable: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

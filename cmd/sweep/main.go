@@ -26,7 +26,9 @@
 // table (default) or JSON (-format json).
 //
 // Determinism: output depends only on the spec and -seed — never on
-// -workers or on where a resumed run was interrupted.
+// -workers or on where a resumed run was interrupted. -metrics-dump
+// writes the process metrics (Prometheus text, internal/obs) to stderr
+// when the run ends; it never affects results.
 package main
 
 import (
@@ -43,6 +45,7 @@ import (
 
 	"repro/internal/avail"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 	"repro/internal/table"
 )
@@ -68,15 +71,21 @@ func main() {
 		maxEvals   = flag.Int("max-evals", 32, "threshold mode: response evaluation cap")
 		expand     = flag.Int("expand", 0, "threshold mode: allowed bracket expansions")
 		decreasing = flag.Bool("decreasing", false, "threshold mode: metric decreases in the knob")
+
+		metricsDump = flag.Bool("metrics-dump", false, "dump process metrics (Prometheus text) to stderr at exit")
 	)
 	flag.Parse()
-	if err := run(cfg{
+	err := run(cfg{
 		model: *model, mp: *mp, graph: *graphFam, lifetime: *lifetime, metric: *metric,
 		grid: *gridSpec, prec: *precSpec, seed: *seed, workers: *workers,
 		resume: *resume, format: *format,
 		target: *target, knob: *knob, bracket: *bracket, tol: *tol,
 		maxEvals: *maxEvals, expand: *expand, decreasing: *decreasing,
-	}); err != nil {
+	})
+	if *metricsDump {
+		obs.Default().WritePrometheus(os.Stderr)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
 	}

@@ -56,8 +56,13 @@
 //	                     worker pool, LRU result cache keyed by the
 //	                     canonical request (experiment Config or sweep
 //	                     spec), JSON HTTP API
+//	internal/obs         zero-dependency observability: atomic counters and
+//	                     gauges, sharded lock-free histograms, Prometheus
+//	                     text exposition, and monotonic-clock spans in an
+//	                     in-memory ring — 0 allocs/op on the record path
 //	cmd/...              command-line tools; cmd/serve runs the HTTP
-//	                     service; cmd/sweep runs adaptive sweeps and
+//	                     service (plus /metrics, /debug/trace and optional
+//	                     pprof); cmd/sweep runs adaptive sweeps and
 //	                     threshold searches; examples/... runnable examples
 //
 // The experiment service (internal/service + cmd/serve) turns the one-shot

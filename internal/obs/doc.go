@@ -1,0 +1,42 @@
+// Package obs is the engine-wide observability layer: metrics, tracing
+// and exposition, with no dependencies outside the standard library.
+//
+// # Metrics
+//
+// Three instrument kinds cover the engine's needs:
+//
+//   - Counter: a monotone atomic counter (trials completed, cache hits);
+//   - Gauge: an atomic signed level (queue depth, in-flight jobs);
+//   - Histogram: a sharded lock-free histogram with power-of-two bucket
+//     boundaries, suited to latencies in nanoseconds and other
+//     heavy-tailed positive quantities. Observations pick a shard through
+//     the runtime's per-thread random state, so concurrent writers rarely
+//     share a cache line; snapshots merge the shards.
+//
+// Instruments live in a Registry under Prometheus-style metric families,
+// optionally labeled. Handles are resolved once at registration
+// (CounterVec.With at init time, not per event), so the record path is a
+// single atomic operation — zero allocations, cheap enough for the
+// Monte-Carlo hot layers. The package-level constructors use a process
+// default registry; NewRegistry gives tests an isolated one.
+//
+// WritePrometheus renders a registry in the Prometheus text exposition
+// format (version 0.0.4); Handler serves it over HTTP as GET /metrics
+// does in cmd/serve. Lint validates exposition output line by line — the
+// golden tests and the CI smoke job both parse scrapes through it.
+//
+// # Tracing
+//
+// StartSpan opens a lightweight span: an id, optional parentage
+// (Span.Child), and a monotonic start reading. Span.End records the
+// completed span into a fixed-size in-memory ring buffer; TraceHandler
+// dumps the ring as JSON (GET /debug/trace in cmd/serve). Spans are meant
+// for request/job/cell-scale work, not per-trial inner loops — the ring
+// write takes a mutex.
+//
+// # Conventions
+//
+// Metric names follow Prometheus conventions (snake_case, *_total for
+// counters, base units in the name: *_ns for nanoseconds). The engine's
+// metric inventory is documented in the README's Observability section.
+package obs

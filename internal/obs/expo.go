@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// contentType is the Prometheus text exposition format version this
+// package writes.
+const contentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format: families sorted by name, each with # HELP and # TYPE comments
+// and its series sorted by label values. Histograms render cumulative
+// *_bucket series at the power-of-two bounds up to the highest occupied
+// bucket, then le="+Inf", *_sum and *_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshot() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.sortedSeries() {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(w *bufio.Writer, f *family, s *series) {
+	switch f.kind {
+	case KindCounter:
+		w.WriteString(f.name)
+		writeLabels(w, f.labels, s.labelValues, "", 0, false)
+		fmt.Fprintf(w, " %d\n", s.c.Value())
+	case KindGauge:
+		w.WriteString(f.name)
+		writeLabels(w, f.labels, s.labelValues, "", 0, false)
+		if s.fn != nil {
+			fmt.Fprintf(w, " %s\n", formatFloat(s.fn()))
+		} else {
+			fmt.Fprintf(w, " %d\n", s.g.Value())
+		}
+	case KindHistogram:
+		snap := s.h.Snapshot()
+		top := 0
+		for i, c := range snap.Counts {
+			if c > 0 {
+				top = i
+			}
+		}
+		if top == histBuckets-1 {
+			top-- // the last slot is the +Inf bucket, emitted below
+		}
+		cum := uint64(0)
+		for i := 0; i <= top; i++ {
+			cum += snap.Counts[i]
+			w.WriteString(f.name)
+			w.WriteString("_bucket")
+			writeLabels(w, f.labels, s.labelValues, "le", BucketBound(i), true)
+			fmt.Fprintf(w, " %d\n", cum)
+		}
+		w.WriteString(f.name)
+		w.WriteString("_bucket")
+		writeLabels(w, f.labels, s.labelValues, "le", math.Inf(1), true)
+		fmt.Fprintf(w, " %d\n", snap.Count)
+		w.WriteString(f.name)
+		w.WriteString("_sum")
+		writeLabels(w, f.labels, s.labelValues, "", 0, false)
+		fmt.Fprintf(w, " %d\n", snap.Sum)
+		w.WriteString(f.name)
+		w.WriteString("_count")
+		writeLabels(w, f.labels, s.labelValues, "", 0, false)
+		fmt.Fprintf(w, " %d\n", snap.Count)
+	}
+}
+
+// writeLabels renders {a="x",b="y"} plus an optional le bound, omitting
+// the braces entirely for an unlabeled series without le.
+func writeLabels(w *bufio.Writer, names, values []string, extra string, bound float64, withExtra bool) {
+	if len(names) == 0 && !withExtra {
+		return
+	}
+	w.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(n)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(values[i]))
+		w.WriteByte('"')
+	}
+	if withExtra {
+		if len(names) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(extra)
+		w.WriteString(`="`)
+		w.WriteString(formatFloat(bound))
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+// formatFloat renders a float as Prometheus expects: +Inf/-Inf/NaN
+// spelled out, shortest round-trip decimal otherwise.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslash, double quote and newline in label values.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", contentType)
+		r.WritePrometheus(w)
+	})
+}
+
+// Handler serves the default registry (GET /metrics in cmd/serve).
+func Handler() http.Handler { return defaultRegistry.Handler() }
+
+// Lint validates text in the Prometheus exposition format: every line is
+// a well-formed comment or sample, TYPE comments carry a known type, and
+// every histogram family ends with +Inf, _sum and _count series. It
+// returns the number of samples read, or the first error — the check the
+// golden tests and the CI smoke job run scrapes through.
+func Lint(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	histSeen := map[string]bool{} // histogram family → emitted any sample
+	histInf := map[string]bool{}  // histogram family → saw le="+Inf"
+	histSum := map[string]bool{}
+	histCount := map[string]bool{}
+	types := map[string]string{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return samples, fmt.Errorf("line %d: malformed comment %q", line, text)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return samples, fmt.Errorf("line %d: malformed TYPE comment %q", line, text)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return samples, fmt.Errorf("line %d: unknown type %q", line, fields[3])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := splitSample(text)
+		if err != nil {
+			return samples, fmt.Errorf("line %d: %v", line, err)
+		}
+		if !validName(name) {
+			return samples, fmt.Errorf("line %d: invalid metric name %q", line, name)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return samples, fmt.Errorf("line %d: bad sample value %q", line, value)
+		}
+		samples++
+		for fam := range types {
+			if types[fam] != "histogram" {
+				continue
+			}
+			switch name {
+			case fam + "_bucket":
+				histSeen[fam] = true
+				if strings.Contains(labels, `le="+Inf"`) {
+					histInf[fam] = true
+				}
+			case fam + "_sum":
+				histSeen[fam] = true
+				histSum[fam] = true
+			case fam + "_count":
+				histSeen[fam] = true
+				histCount[fam] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	// A histogram family with no samples at all (a vec nobody observed
+	// into yet) is legal; one with samples must be complete.
+	for fam, typ := range types {
+		if typ != "histogram" || !histSeen[fam] {
+			continue
+		}
+		if !histInf[fam] || !histSum[fam] || !histCount[fam] {
+			return samples, fmt.Errorf("histogram %s missing le=\"+Inf\", _sum or _count", fam)
+		}
+	}
+	return samples, nil
+}
+
+// countUnescapedQuotes counts the double quotes in s that are not
+// preceded by a backslash escape.
+func countUnescapedQuotes(s string) int {
+	n, escaped := 0, false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case escaped:
+			escaped = false
+		case s[i] == '\\':
+			escaped = true
+		case s[i] == '"':
+			n++
+		}
+	}
+	return n
+}
+
+// splitSample splits `name{labels} value` (labels optional) into parts,
+// validating brace and quote structure.
+func splitSample(s string) (name, labels, value string, err error) {
+	if i := strings.IndexByte(s, '{'); i >= 0 {
+		j := strings.LastIndexByte(s, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unbalanced braces in %q", s)
+		}
+		name, labels = s[:i], s[i+1:j]
+		if countUnescapedQuotes(labels)%2 != 0 {
+			return "", "", "", fmt.Errorf("unbalanced quotes in %q", s)
+		}
+		value = strings.TrimSpace(s[j+1:])
+	} else {
+		fields := strings.Fields(s)
+		if len(fields) < 2 {
+			return "", "", "", fmt.Errorf("short sample line %q", s)
+		}
+		name, value = fields[0], fields[1]
+	}
+	if value == "" || strings.ContainsAny(value, " \t") {
+		fields := strings.Fields(value)
+		if len(fields) == 0 {
+			return "", "", "", fmt.Errorf("missing value in %q", s)
+		}
+		value = fields[0] // a timestamp may follow the value
+	}
+	return name, labels, value, nil
+}

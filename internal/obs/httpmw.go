@@ -1,0 +1,51 @@
+package obs
+
+import "net/http"
+
+// ResponseRecorder wraps an http.ResponseWriter and captures the status
+// code and body byte count actually sent — the access-log and
+// per-endpoint-metrics primitive. A handler that never calls WriteHeader
+// is recorded as 200, matching net/http's implicit behavior.
+type ResponseRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+// NewResponseRecorder wraps w.
+func NewResponseRecorder(w http.ResponseWriter) *ResponseRecorder {
+	return &ResponseRecorder{ResponseWriter: w, status: http.StatusOK}
+}
+
+// WriteHeader records the status and forwards it. Only the first call
+// counts, matching net/http (later calls are dropped there too).
+func (r *ResponseRecorder) WriteHeader(status int) {
+	if !r.wrote {
+		r.status = status
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// Write counts the bytes and forwards them.
+func (r *ResponseRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Status returns the recorded status code.
+func (r *ResponseRecorder) Status() int { return r.status }
+
+// Bytes returns the number of body bytes written so far.
+func (r *ResponseRecorder) Bytes() int64 { return r.bytes }
+
+// Flush forwards to the underlying writer when it supports flushing, so
+// wrapping never breaks streaming handlers.
+func (r *ResponseRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestResponseRecorderDefaults(t *testing.T) {
+	rec := NewResponseRecorder(httptest.NewRecorder())
+	if rec.Status() != http.StatusOK {
+		t.Fatalf("default status = %d, want 200", rec.Status())
+	}
+	if rec.Bytes() != 0 {
+		t.Fatalf("default bytes = %d, want 0", rec.Bytes())
+	}
+}
+
+func TestResponseRecorderCapturesStatusAndBytes(t *testing.T) {
+	inner := httptest.NewRecorder()
+	rec := NewResponseRecorder(inner)
+	rec.WriteHeader(http.StatusNotFound)
+	rec.WriteHeader(http.StatusOK) // first call wins
+	n, err := rec.Write([]byte("not here"))
+	if err != nil || n != 8 {
+		t.Fatalf("write: %d, %v", n, err)
+	}
+	rec.Write([]byte("!!"))
+	if rec.Status() != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rec.Status())
+	}
+	if rec.Bytes() != 10 {
+		t.Fatalf("bytes = %d, want 10", rec.Bytes())
+	}
+	if inner.Code != http.StatusNotFound || inner.Body.String() != "not here!!" {
+		t.Fatalf("forwarding broken: %d %q", inner.Code, inner.Body.String())
+	}
+}
+
+func TestResponseRecorderImplicitStatus(t *testing.T) {
+	rec := NewResponseRecorder(httptest.NewRecorder())
+	rec.Write([]byte("ok"))
+	rec.WriteHeader(http.StatusTeapot) // too late, body already started
+	if rec.Status() != http.StatusOK {
+		t.Fatalf("status = %d, want implicit 200", rec.Status())
+	}
+}
+
+type flushRecorder struct {
+	*httptest.ResponseRecorder
+	flushed bool
+}
+
+func (f *flushRecorder) Flush() { f.flushed = true }
+
+func TestResponseRecorderFlush(t *testing.T) {
+	inner := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	rec := NewResponseRecorder(inner)
+	rec.Flush()
+	if !inner.flushed {
+		t.Fatal("Flush not forwarded")
+	}
+	// A non-flusher underneath must not panic.
+	NewResponseRecorder(nonFlusher{httptest.NewRecorder()}).Flush()
+}
+
+type nonFlusher struct{ http.ResponseWriter }

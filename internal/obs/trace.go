@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one completed span as stored in the ring and dumped as
+// JSON. Times are monotonic-clock readings relative to the tracer's
+// creation, so records order and subtract cleanly even across wall-clock
+// adjustments.
+type SpanRecord struct {
+	// ID is the span's process-unique id; Parent is the id of the
+	// enclosing span, 0 for a root.
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	// StartNS is the span's start, nanoseconds since the tracer was
+	// created (monotonic); DurNS is its duration in nanoseconds.
+	StartNS int64 `json:"start_ns"`
+	DurNS   int64 `json:"dur_ns"`
+}
+
+// Tracer records completed spans into a fixed-size ring buffer: the most
+// recent Capacity spans survive, older ones are overwritten. Create with
+// NewTracer; StartSpan uses the process default tracer.
+type Tracer struct {
+	base time.Time // monotonic anchor
+	ids  atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int    // ring slot the next completed span lands in
+	total uint64 // completed spans ever recorded
+}
+
+// NewTracer returns a tracer retaining the last capacity completed spans;
+// capacity < 1 panics.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		panic("obs: tracer capacity must be >= 1")
+	}
+	return &Tracer{base: time.Now(), ring: make([]SpanRecord, 0, capacity)}
+}
+
+// defaultTracer backs StartSpan and TraceHandler. 4096 spans of
+// request/job/cell granularity cover minutes of busy-service history.
+var defaultTracer = NewTracer(4096)
+
+// DefaultTracer returns the process default tracer.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// Span is an in-flight operation. The zero value is a no-op span: Child
+// returns another no-op and End does nothing, so tracing can be threaded
+// through code paths that sometimes run without a tracer.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+}
+
+// Start opens a root span.
+func (t *Tracer) Start(name string) Span {
+	return Span{t: t, id: t.ids.Add(1), name: name, start: time.Now()}
+}
+
+// StartSpan opens a root span on the default tracer.
+func StartSpan(name string) Span { return defaultTracer.Start(name) }
+
+// Child opens a span nested under s.
+func (s Span) Child(name string) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	return Span{t: s.t, id: s.t.ids.Add(1), parent: s.id, name: name, start: time.Now()}
+}
+
+// End completes the span and records it into the ring.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	end := time.Now()
+	rec := SpanRecord{
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartNS: s.start.Sub(s.t.base).Nanoseconds(),
+		DurNS:   end.Sub(s.start).Nanoseconds(),
+	}
+	t := s.t
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+	} else {
+		t.ring[t.next] = rec
+	}
+	t.next++
+	if t.next == cap(t.ring) {
+		t.next = 0
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (t *Tracer) Snapshot() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Total returns the number of spans ever completed on this tracer.
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// traceDump is the JSON shape of GET /debug/trace.
+type traceDump struct {
+	// Capacity is the ring size; Recorded the spans ever completed. When
+	// Recorded > Capacity the oldest spans have been overwritten.
+	Capacity int          `json:"capacity"`
+	Recorded uint64       `json:"recorded"`
+	Spans    []SpanRecord `json:"spans"`
+}
+
+// DumpJSON writes the retained spans as one JSON document.
+func (t *Tracer) DumpJSON(w io.Writer) error {
+	t.mu.Lock()
+	total := t.total
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(traceDump{Capacity: cap(t.ring), Recorded: total, Spans: t.Snapshot()})
+}
+
+// TraceHandler serves the tracer's ring as JSON.
+func (t *Tracer) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		t.DumpJSON(w)
+	})
+}
+
+// TraceHandler serves the default tracer (GET /debug/trace in cmd/serve).
+func TraceHandler() http.Handler { return defaultTracer.TraceHandler() }

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSpanParentage(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.Start("job")
+	child := root.Child("cell")
+	grand := child.Child("trial")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Recorded in completion order: trial, cell, job.
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["job"].Parent != 0 {
+		t.Fatalf("root has parent %d", byName["job"].Parent)
+	}
+	if byName["cell"].Parent != byName["job"].ID {
+		t.Fatal("cell not parented to job")
+	}
+	if byName["trial"].Parent != byName["cell"].ID {
+		t.Fatal("trial not parented to cell")
+	}
+	for _, s := range spans {
+		if s.DurNS < 0 || s.StartNS < 0 {
+			t.Fatalf("negative clock reading in %+v", s)
+		}
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Start(fmt.Sprintf("s%d", i)).End()
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d, want 4", len(spans))
+	}
+	// Oldest-first: the last four completed spans in order.
+	for i, want := range []string{"s6", "s7", "s8", "s9"} {
+		if spans[i].Name != want {
+			t.Fatalf("slot %d = %q, want %q (all: %v)", i, spans[i].Name, want, spans)
+		}
+	}
+}
+
+func TestZeroSpanIsNoOp(t *testing.T) {
+	var s Span
+	s.Child("x").End() // must not panic or record anywhere
+	s.End()
+}
+
+func TestDumpJSON(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Start("a").End()
+	tr.Start("b").End()
+	var b strings.Builder
+	if err := tr.DumpJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Capacity int          `json:"capacity"`
+		Recorded uint64       `json:"recorded"`
+		Spans    []SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &dump); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if dump.Capacity != 8 || dump.Recorded != 2 || len(dump.Spans) != 2 {
+		t.Fatalf("dump = %+v", dump)
+	}
+	if dump.Spans[0].Name != "a" || dump.Spans[1].Name != "b" {
+		t.Fatalf("span order wrong: %+v", dump.Spans)
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Start("req").End()
+	rec := httptest.NewRecorder()
+	tr.TraceHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `"name": "req"`) {
+		t.Fatalf("body:\n%s", rec.Body.String())
+	}
+}
+
+func TestDefaultTracerAccessors(t *testing.T) {
+	before := DefaultTracer().Total()
+	StartSpan("obs_test_default_span").End()
+	if DefaultTracer().Total() != before+1 {
+		t.Fatal("StartSpan did not record on the default tracer")
+	}
+}

@@ -44,9 +44,11 @@ func (c *Cache) Get(key string) (*Payload, bool) {
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
+		obsCacheMisses.Inc()
 		return nil, false
 	}
 	c.hits++
+	obsCacheHits.Inc()
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).payload, true
 }
@@ -66,6 +68,7 @@ func (c *Cache) Put(key string, p *Payload) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+		obsCacheEvicts.Inc()
 	}
 	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, payload: p})
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -166,6 +167,7 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	job.ctx, job.cancel = context.WithCancel(m.baseCtx)
 	select {
 	case m.queue <- job:
+		obsQueueDepth.Add(1)
 	default:
 		job.cancel()
 		return nil, fmt.Errorf("job queue full (%d pending)", cap(m.queue))
@@ -180,6 +182,10 @@ func (m *Manager) register(job *Job) {
 	m.jobs[job.id] = job
 	m.order = append(m.order, job.id)
 	m.submitted++
+	obsJobsSubmitted.Inc()
+	if job.fromCache {
+		obsJobsFromCache.Inc()
+	}
 	if len(m.order) <= m.opts.MaxHistory {
 		return
 	}
@@ -233,6 +239,7 @@ func (m *Manager) Cancel(id string) error {
 		job.finished = m.now()
 		job.mu.Unlock()
 		m.cancelled.Add(1)
+		countSettled(StateCancelled)
 	} else {
 		job.mu.Unlock()
 	}
@@ -246,6 +253,7 @@ func (m *Manager) Cancel(id string) error {
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for job := range m.queue {
+		obsQueueDepth.Add(-1)
 		m.runJob(job)
 	}
 }
@@ -262,10 +270,17 @@ func (m *Manager) runJob(job *Job) {
 	job.started = m.now()
 	job.mu.Unlock()
 
+	obsInFlight.Add(1)
+	defer obsInFlight.Add(-1)
+
 	if job.sweepReq != nil {
+		span := obs.StartSpan("service.sweep")
+		defer span.End()
 		m.runSweepJob(job)
 		return
 	}
+	span := obs.StartSpan("service.job")
+	defer span.End()
 
 	e, ok := m.opts.Lookup(job.req.Experiment)
 	if !ok {
@@ -327,6 +342,7 @@ func (m *Manager) settle(job *Job, state State, payload *Payload, errMsg string)
 	job.err = errMsg
 	job.finished = m.now()
 	job.mu.Unlock()
+	countSettled(state)
 	switch state {
 	case StateDone:
 		m.completed.Add(1)
@@ -353,14 +369,15 @@ type Stats struct {
 	CacheHits     uint64  `json:"cache_hits"`
 	CacheMisses   uint64  `json:"cache_misses"`
 	CacheHitRate  float64 `json:"cache_hit_rate"`
-	// DurationP50Ms and DurationP95Ms are wall-clock run-duration
-	// percentiles (milliseconds) over the terminal jobs still in history
-	// that actually ran — cache hits and cancelled-while-queued jobs never
-	// started, so they are excluded. Sweep-sized jobs run orders of
-	// magnitude longer than cached lookups; the p95 is what makes them
-	// observable. 0 when no job has finished yet.
+	// DurationP50Ms, DurationP95Ms and DurationP99Ms are wall-clock
+	// run-duration percentiles (milliseconds) over the terminal jobs still
+	// in history that actually ran — cache hits and cancelled-while-queued
+	// jobs never started, so they are excluded. Sweep-sized jobs run orders
+	// of magnitude longer than cached lookups; the tail percentiles are
+	// what make them observable. 0 when no job has finished yet.
 	DurationP50Ms float64 `json:"job_duration_p50_ms"`
 	DurationP95Ms float64 `json:"job_duration_p95_ms"`
+	DurationP99Ms float64 `json:"job_duration_p99_ms"`
 }
 
 // Stats returns the current counters. InFlight counts tracked jobs that
@@ -401,19 +418,19 @@ func (m *Manager) Stats() Stats {
 	if total := hits + misses; total > 0 {
 		s.CacheHitRate = float64(hits) / float64(total)
 	}
-	s.DurationP50Ms, s.DurationP95Ms = durationPercentiles(jobDurations(jobs))
+	s.DurationP50Ms, s.DurationP95Ms, s.DurationP99Ms = durationPercentiles(jobDurations(jobs))
 	return s
 }
 
-// durationPercentiles returns the (p50, p95) of the durations in
+// durationPercentiles returns the (p50, p95, p99) of the durations in
 // milliseconds, 0s when empty.
-func durationPercentiles(ds []time.Duration) (p50, p95 float64) {
+func durationPercentiles(ds []time.Duration) (p50, p95, p99 float64) {
 	if len(ds) == 0 {
-		return 0, 0
+		return 0, 0, 0
 	}
 	var sample stats.Sample
 	for _, d := range ds {
 		sample.Add(float64(d) / float64(time.Millisecond))
 	}
-	return sample.Quantile(0.50), sample.Quantile(0.95)
+	return sample.Quantile(0.50), sample.Quantile(0.95), sample.Quantile(0.99)
 }

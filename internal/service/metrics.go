@@ -1,0 +1,63 @@
+package service
+
+// Process-wide metrics for the job service, exposed through internal/obs.
+// Counters and gauges are recorded at job and request granularity —
+// event-driven (submit, settle, dequeue) rather than sampled, so multiple
+// Managers in one process (tests) aggregate instead of clobbering each
+// other.
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+var (
+	obsJobsSubmitted = obs.NewCounter("service_jobs_submitted_total",
+		"Jobs accepted by Submit (including cache hits).")
+	obsJobsFromCache = obs.NewCounter("service_jobs_from_cache_total",
+		"Submissions completed immediately from the result cache.")
+	obsJobsSettled = obs.NewCounterVec("service_jobs_settled_total",
+		"Jobs reaching a terminal state, by outcome.", "state")
+	obsQueueDepth = obs.NewGauge("service_queue_depth",
+		"Jobs sitting in the submit queue.")
+	obsInFlight = obs.NewGauge("service_jobs_in_flight",
+		"Jobs currently executing on the worker pool.")
+
+	obsCacheHits = obs.NewCounter("service_cache_hits_total",
+		"Result-cache lookups that found an entry.")
+	obsCacheMisses = obs.NewCounter("service_cache_misses_total",
+		"Result-cache lookups that found nothing.")
+	obsCacheEvicts = obs.NewCounter("service_cache_evictions_total",
+		"Result-cache entries evicted by the LRU bound.")
+
+	obsHTTPRequests = obs.NewCounterVec("service_http_requests_total",
+		"HTTP requests served, by route pattern, method and status code.",
+		"path", "method", "code")
+	obsHTTPDuration = obs.NewHistogramVec("service_http_request_duration_ns",
+		"HTTP request latency in nanoseconds, by route pattern.", "path")
+)
+
+func countSettled(state State) {
+	obsJobsSettled.With(string(state)).Inc()
+}
+
+// instrumentHTTP wraps the service mux with per-endpoint metrics: the
+// route pattern is resolved via mux.Handler (without dispatching), so
+// /jobs/j17 and /jobs/j18 share one series instead of exploding the label
+// space. Unmatched requests are grouped under "unmatched".
+func instrumentHTTP(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, pattern := mux.Handler(r)
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		rec := obs.NewResponseRecorder(w)
+		start := time.Now()
+		mux.ServeHTTP(rec, r)
+		obsHTTPDuration.With(pattern).ObserveSince(start)
+		obsHTTPRequests.With(pattern, r.Method, strconv.Itoa(rec.Status())).Inc()
+	})
+}

@@ -219,7 +219,7 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("POST /jobs/{id}/cancel", cancel)
 	mux.HandleFunc("DELETE /jobs/{id}", cancel)
 
-	return mux
+	return instrumentHTTP(mux)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -251,10 +251,14 @@ func TestStatsDurationPercentiles(t *testing.T) {
 	if math.Abs(s.DurationP95Ms-920) > 1e-9 {
 		t.Fatalf("p95 = %v ms, want 920", s.DurationP95Ms)
 	}
+	// Same interpolation at q=0.99: 984.
+	if math.Abs(s.DurationP99Ms-984) > 1e-9 {
+		t.Fatalf("p99 = %v ms, want 984", s.DurationP99Ms)
+	}
 }
 
 func TestDurationPercentilesEmpty(t *testing.T) {
-	if p50, p95 := durationPercentiles(nil); p50 != 0 || p95 != 0 {
-		t.Fatalf("empty percentiles = %v, %v", p50, p95)
+	if p50, p95, p99 := durationPercentiles(nil); p50 != 0 || p95 != 0 || p99 != 0 {
+		t.Fatalf("empty percentiles = %v, %v, %v", p50, p95, p99)
 	}
 }

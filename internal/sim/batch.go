@@ -81,6 +81,12 @@ type batchWorker struct {
 	rs        avail.Resampler // nil selects the rebuild path
 	net       *temporal.Network
 	lab       temporal.Labeling
+
+	// resampled/rebuilt count this worker's trials per labeling path since
+	// it was acquired; release flushes them to the process counters so the
+	// per-trial path stays free of shared atomics.
+	resampled uint64
+	rebuilt   uint64
 }
 
 func (b *BatchRunner) acquire() *batchWorker {
@@ -89,9 +95,11 @@ func (b *BatchRunner) acquire() *batchWorker {
 		w := b.free[n-1]
 		b.free = b.free[:n-1]
 		b.mu.Unlock()
+		obsFreelistHits.Inc()
 		return w
 	}
 	b.mu.Unlock()
+	obsFreelistMisses.Inc()
 	w := &batchWorker{model: b.Model, substrate: b.Substrate}
 	if avail.CanResample(b.Model) {
 		w.rs = b.Model.(avail.Resampler)
@@ -100,6 +108,9 @@ func (b *BatchRunner) acquire() *batchWorker {
 }
 
 func (b *BatchRunner) release(w *batchWorker) {
+	obsBatchResample.Add(w.resampled)
+	obsBatchRebuild.Add(w.rebuilt)
+	w.resampled, w.rebuilt = 0, 0
 	b.mu.Lock()
 	b.free = append(b.free, w)
 	b.mu.Unlock()
@@ -111,8 +122,10 @@ func (b *BatchRunner) release(w *batchWorker) {
 // cannot tell the paths apart.
 func (w *batchWorker) instance(stream *rng.Stream) *temporal.Network {
 	if w.rs == nil {
+		w.rebuilt++
 		return avail.Network(w.model, w.substrate, stream)
 	}
+	w.resampled++
 	w.rs.Resample(w.substrate, &w.lab, stream)
 	if w.net == nil {
 		// First trial on this worker: build the index skeleton from an

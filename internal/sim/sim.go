@@ -157,6 +157,7 @@ func (c Runner) runLoop(ctx context.Context, count int, makeRun func() (run func
 		}()
 	}
 	wg.Wait()
+	countRun(next, count, completed)
 	if panicked != nil {
 		panic(panicked)
 	}

@@ -217,6 +217,7 @@ func (a Adaptive) EstimateSource(ctx context.Context, src Source) (Estimate, err
 			w.Add(v)
 		}
 		est = finishEstimate(kind, &w, successes, p)
+		observeBatch(batch, est)
 		if a.OnBatch != nil {
 			a.OnBatch(est)
 		}

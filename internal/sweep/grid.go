@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 
+	obslib "repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/table"
 )
@@ -269,6 +270,7 @@ func (s Sweep) Run(ctx context.Context, prior *Checkpoint, obs CellObservable) (
 			Prec:    s.Prec,
 			OnTrial: s.OnTrial,
 		}
+		span := obslib.StartSpan("sweep.cell")
 		var est Estimate
 		var err error
 		if s.Source != nil {
@@ -278,10 +280,12 @@ func (s Sweep) Run(ctx context.Context, prior *Checkpoint, obs CellObservable) (
 				return obs(values, trial, r)
 			})
 		}
+		span.End()
 		if err != nil {
 			sortCells(cp.Cells)
 			return cp, err
 		}
+		obsCellsDone.Inc()
 		cell := Cell{Index: idx, Values: values, Est: est}
 		cp.Cells = append(cp.Cells, cell)
 		if s.OnCell != nil {

@@ -1,0 +1,34 @@
+package sweep
+
+// Process-wide metrics for the adaptive sweep engine, exposed through
+// internal/obs. Everything records at batch, cell, or search granularity
+// — the trial hot path is the executor's (internal/sim) concern — and
+// nothing here feeds back into batch sizing or stopping, so estimates
+// stay bit-deterministic.
+
+import (
+	"math"
+
+	"repro/internal/obs"
+)
+
+var (
+	obsCellsDone = obs.NewCounter("sweep_cells_completed_total",
+		"Grid cells whose adaptive estimate finished.")
+	obsBatchSize = obs.NewHistogram("sweep_batch_size",
+		"Trial batch sizes issued by the adaptive loop.")
+	obsHalfWidthMicro = obs.NewHistogram("sweep_ci_half_width_micro",
+		"CI half-widths after each batch, in millionths (half * 1e6).")
+	obsBisectionEvals = obs.NewHistogram("sweep_bisection_evals",
+		"Response evaluations spent per threshold search.")
+)
+
+// observeBatch records one adaptive batch: its size and the half-width
+// the estimate reached afterwards. Infinite half-widths (too few trials
+// for any interval) are skipped rather than folded into the +Inf bucket.
+func observeBatch(batch int, est Estimate) {
+	obsBatchSize.Observe(uint64(batch))
+	if !math.IsInf(est.Half, 1) && !math.IsNaN(est.Half) {
+		obsHalfWidthMicro.Observe(uint64(est.Half * 1e6))
+	}
+}

@@ -184,5 +184,6 @@ func (t Threshold) findAdaptive(estimate func(x float64) (Estimate, error)) (cr 
 	if _, err = eval(cr.X); err != nil {
 		return cr, at, trials, err
 	}
+	obsBisectionEvals.Observe(uint64(cr.Evals))
 	return cr, at, trials, nil
 }

@@ -1,0 +1,33 @@
+package temporal
+
+// Process-wide counters for the temporal index and kernel layers, exposed
+// through internal/obs. Index rebuilds happen under idxMu and kernel races
+// once per diameter sweep, so every record here is a cold-path atomic —
+// the per-source kernels themselves stay untouched.
+
+import "repro/internal/obs"
+
+var obsIndexBuilds = obs.NewCounterVec("temporal_index_builds_total",
+	"Lazy index rebuilds by index kind (labelsort, timeedges, vertex).", "index")
+
+var (
+	obsBuildLabelSort = obsIndexBuilds.With("labelsort")
+	obsBuildTimeEdges = obsIndexBuilds.With("timeedges")
+	obsBuildVertex    = obsIndexBuilds.With("vertex")
+)
+
+var obsDiameterRace = obs.NewCounterVec("temporal_diameter_race_total",
+	"Diameter kernel races by winning kernel.", "winner")
+
+var (
+	obsRaceLinear   = obsDiameterRace.With("linear")
+	obsRaceFrontier = obsDiameterRace.With("frontier")
+)
+
+func countRaceWinner(useLinear bool) {
+	if useLinear {
+		obsRaceLinear.Inc()
+	} else {
+		obsRaceFrontier.Inc()
+	}
+}

@@ -329,6 +329,7 @@ func MustNew(g *graph.Graph, lifetime int, lab Labeling) *Network {
 }
 
 func (n *Network) sortPerEdge() {
+	obsBuildLabelSort.Inc()
 	for e := 0; e < n.g.M(); e++ {
 		seg := n.labels[n.off[e]:n.off[e+1]]
 		if len(seg) > 1 && !slices.IsSorted(seg) {
@@ -344,6 +345,7 @@ func (n *Network) sortPerEdge() {
 // run-length pass after the edge scatter — same contents, one random write
 // stream instead of two.
 func (n *Network) buildTimeEdges() {
+	obsBuildTimeEdges.Inc()
 	total := len(n.labels)
 	counts := growI32(n.teCounts, int(n.lifetime)+2)
 	n.teCounts = counts
@@ -384,6 +386,7 @@ func (n *Network) buildTimeEdges() {
 // segment sorted by label with no further sorting. All output and scratch
 // arrays are reused across Relabel calls.
 func (n *Network) buildVertexTimeEdges() {
+	obsBuildVertex.Inc()
 	nv := n.g.N()
 	directed := n.g.Directed()
 	size := len(n.labels)

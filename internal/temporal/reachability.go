@@ -354,7 +354,9 @@ func (n *Network) raceKernels(s0 int, agg *diamAccum) (useLinear bool, probed in
 	_, frontierWork := n.earliestArrivalsFrontier(s0, 1, arr, nil, sc)
 	_, linearWork := n.earliestArrivalsLinear(s0, arr)
 	agg.add(s0, arr)
-	return linearWork < frontierWork, 1
+	useLinear = linearWork < frontierWork
+	countRaceWinner(useLinear)
+	return useLinear, 1
 }
 
 // DiameterFromSerial is DiameterFrom without internal parallelism — the
