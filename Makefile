@@ -2,7 +2,7 @@
 # the kernel benchmark trajectory as BENCH_kernels.json (see ci.yml).
 
 GO        ?= go
-BENCH     ?= BenchmarkKernel|BenchmarkSweep|BenchmarkObs
+BENCH     ?= BenchmarkKernel|BenchmarkSweep|BenchmarkObs|BenchmarkQuery
 BENCHTIME ?= 1s
 # COVER_MIN is the post-PR-4 total-coverage baseline (84.3% measured,
 # floored with a small margin for run-to-run wobble); `make cover` fails

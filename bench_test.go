@@ -18,6 +18,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/phonecall"
+	"repro/internal/qindex"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -633,6 +634,64 @@ func BenchmarkSweepE18CellQuick(b *testing.B) {
 		})
 		if err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// queryBenchNet is the serving benchmark fixture: the sparse G(n,p)
+// regime at n = 1024, the scale the CI query-smoke job boots.
+func queryBenchNet(b *testing.B) *temporal.Network {
+	b.Helper()
+	return sparseGnp(1024, 2014)
+}
+
+// BenchmarkQueryIndexHitFull is the steady-state serving hot path: a
+// point query answered from the precomputed full table. The contract is
+// ≤ 1µs and 0 allocs/op.
+func BenchmarkQueryIndexHitFull(b *testing.B) {
+	ix := qindex.New(queryBenchNet(b), qindex.Options{Mode: qindex.ModeFull})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Arrival(i&1023, (i*7)&1023, 1)
+	}
+}
+
+// BenchmarkQueryIndexHitLRU hits resident LRU rows: the map + list touch
+// the full table avoids.
+func BenchmarkQueryIndexHitLRU(b *testing.B) {
+	ix := qindex.New(queryBenchNet(b), qindex.Options{Mode: qindex.ModeLRU})
+	for s := 0; s < 64; s++ {
+		ix.Arrival(s, 1, 1) // warm 64 rows
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Arrival(i&63, (i*7)&1023, 1)
+	}
+}
+
+// BenchmarkQueryMissCold is the uncached path: every query runs a pooled
+// frontier compute (ModeOff keeps nothing resident).
+func BenchmarkQueryMissCold(b *testing.B) {
+	ix := qindex.New(queryBenchNet(b), qindex.Options{Mode: qindex.ModeOff})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Arrival(i&1023, (i*7)&1023, 1)
+	}
+}
+
+// BenchmarkQueryFullBuild measures the 64-way batched full-table
+// precompute the serve process pays once at startup.
+func BenchmarkQueryFullBuild(b *testing.B) {
+	net := queryBenchNet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := qindex.New(net, qindex.Options{Mode: qindex.ModeFull})
+		if ix.N() != 1024 {
+			b.Fatal("bad build")
 		}
 	}
 }

@@ -4,8 +4,8 @@
 // benchmark regressed.
 //
 // Gated benchmarks are the ones whose stripped name starts with one of
-// the comma-separated -gate prefixes (default "Kernel,Obs", i.e. the
-// BenchmarkKernel* and BenchmarkObs* families). A gated benchmark fails
+// the comma-separated -gate prefixes (default "Kernel,Obs,Query", i.e. the
+// BenchmarkKernel*, BenchmarkObs* and BenchmarkQuery* families). A gated benchmark fails
 // when
 //
 //   - its ns/op grew by more than -max-ns-regress (default 0.30 = +30%)
@@ -60,7 +60,7 @@ type Report struct {
 var (
 	baselinePath = flag.String("baseline", "testdata/bench_baseline.json", "baseline BENCH_kernels.json to compare against")
 	maxNsRegress = flag.Float64("max-ns-regress", 0.30, "maximum tolerated fractional ns/op growth on gated benchmarks")
-	gatePrefix   = flag.String("gate", "Kernel,Obs", "comma-separated benchmark-name prefixes (after the Benchmark prefix is stripped) that are gated")
+	gatePrefix   = flag.String("gate", "Kernel,Obs,Query", "comma-separated benchmark-name prefixes (after the Benchmark prefix is stripped) that are gated")
 )
 
 // gatedBy reports whether name starts with any of the comma-separated

@@ -89,4 +89,7 @@ func TestDiffMultiPrefixGate(t *testing.T) {
 	if !gatedBy("KernelX", "Kernel,Obs") || !gatedBy("ObsSpan", "Kernel,Obs") || gatedBy("SweepX", "Kernel,Obs") {
 		t.Fatal("gatedBy prefix logic wrong")
 	}
+	if !gatedBy("QueryIndexHitFull", "Kernel,Obs,Query") || gatedBy("QueryIndexHitFull", "Kernel,Obs") {
+		t.Fatal("Query gating wrong")
+	}
 }

@@ -21,63 +21,72 @@ import (
 )
 
 func main() {
-	var (
-		netPath = flag.String("net", "", "tnet file (default stdin)")
-		from    = flag.Int("from", 0, "source vertex")
-		to      = flag.Int("to", -1, "target vertex (-1: summarize all targets)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	var in io.Reader = os.Stdin
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("journey", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		netPath = fs.String("net", "", "tnet file (default stdin)")
+		from    = fs.Int("from", 0, "source vertex")
+		to      = fs.Int("to", -1, "target vertex (-1: summarize all targets)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	in := stdin
 	if *netPath != "" {
 		f, err := os.Open(*netPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "journey: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "journey: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		in = f
 	}
 	net, err := temporal.Decode(in)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "journey: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "journey: %v\n", err)
+		return 1
 	}
 	n := net.Graph().N()
 	if *from < 0 || *from >= n || *to >= n {
-		fmt.Fprintf(os.Stderr, "journey: vertex out of range [0,%d)\n", n)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "journey: vertex out of range [0,%d)\n", n)
+		return 2
 	}
-	fmt.Println(net)
+	fmt.Fprintln(stdout, net)
 
 	if *to >= 0 {
-		querySingle(net, *from, *to)
-		return
+		querySingle(stdout, net, *from, *to)
+	} else {
+		queryAll(stdout, net, *from)
 	}
-	queryAll(net, *from)
+	return 0
 }
 
-func querySingle(net *temporal.Network, from, to int) {
+func querySingle(w io.Writer, net *temporal.Network, from, to int) {
 	fj, ok := net.ForemostJourney(from, to)
 	if !ok {
-		fmt.Printf("no journey from %d to %d\n", from, to)
+		fmt.Fprintf(w, "no journey from %d to %d\n", from, to)
 		return
 	}
 	sj, _ := net.ShortestJourney(from, to)
 	qj, _ := net.FastestJourney(from, to)
 	dep := net.LatestDepartures(to)
 
-	fmt.Printf("\nforemost     : %v  (arrives %d)\n", fj, fj.ArrivalTime())
-	fmt.Printf("fewest hops  : %v  (%d hops)\n", sj, len(sj))
+	fmt.Fprintf(w, "\nforemost     : %v  (arrives %d)\n", fj, fj.ArrivalTime())
+	fmt.Fprintf(w, "fewest hops  : %v  (%d hops)\n", sj, len(sj))
 	dur := int32(0)
 	if len(qj) > 0 {
 		dur = qj.ArrivalTime() - qj[0].Label + 1
 	}
-	fmt.Printf("fastest      : %v  (duration %d)\n", qj, dur)
-	fmt.Printf("latest leave : t=%d\n", dep[from])
+	fmt.Fprintf(w, "fastest      : %v  (duration %d)\n", qj, dur)
+	fmt.Fprintf(w, "latest leave : t=%d\n", dep[from])
 }
 
-func queryAll(net *temporal.Network, from int) {
+func queryAll(w io.Writer, net *temporal.Network, from int) {
 	arr := net.EarliestArrivals(from)
 	hops := net.ShortestHops(from)
 	dur := net.FastestDurations(from)
@@ -97,6 +106,6 @@ func queryAll(net *temporal.Network, from int) {
 		tb.AddRow(table.I(v), table.I(int(arr[v])), table.I(int(hops[v])), table.I(int(dur[v])))
 	}
 	tb.AddNote("%d/%d targets reachable", reached, net.Graph().N()-1)
-	fmt.Println()
-	fmt.Print(tb.Render())
+	fmt.Fprintln(w)
+	fmt.Fprint(w, tb.Render())
 }

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/temporal"
+)
+
+const fixture = "testdata/grid12.tnet"
+
+// fixtureNet decodes the committed network the golden assertions pin.
+func fixtureNet(t *testing.T) *temporal.Network {
+	t.Helper()
+	f, err := os.Open(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	net, err := temporal.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestSingleQuery pins the -to output against the library's own answers
+// on the committed fixture.
+func TestSingleQuery(t *testing.T) {
+	net := fixtureNet(t)
+	arr := net.EarliestArrivals(0)
+	target := -1
+	for v := 1; v < net.Graph().N(); v++ {
+		if arr[v] != temporal.Unreachable {
+			target = v
+		}
+	}
+	if target < 0 {
+		t.Fatal("fixture: nothing reachable from 0")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-net", fixture, "-from", "0", "-to", "12"}, nil, &stdout, &stderr)
+	if code != 2 || !strings.Contains(stderr.String(), "out of range") {
+		t.Fatalf("out-of-range -to → %d (%s)", code, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-net", fixture, "-from", "0", "-to", "11"}, nil, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run → %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if arr[11] == temporal.Unreachable {
+		if !strings.Contains(out, "no journey from 0 to 11") {
+			t.Fatalf("unreachable pair: %s", out)
+		}
+	} else {
+		for _, want := range []string{"foremost", "fewest hops", "fastest", "latest leave"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("output missing %q: %s", want, out)
+			}
+		}
+	}
+}
+
+// TestAllTargetsTable checks the summary table: header, a row per
+// vertex, and the reachable count agreeing with the kernel.
+func TestAllTargetsTable(t *testing.T) {
+	net := fixtureNet(t)
+	arr := net.EarliestArrivals(0)
+	reached := 0
+	for v := 1; v < net.Graph().N(); v++ {
+		if arr[v] != temporal.Unreachable {
+			reached++
+		}
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-net", fixture, "-from", "0"}, nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("run → %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "journeys from vertex 0") {
+		t.Fatalf("missing table title: %s", out)
+	}
+	want := fmt.Sprintf("%d/11 targets reachable", reached)
+	if !strings.Contains(out, want) {
+		t.Fatalf("missing %q in:\n%s", want, out)
+	}
+}
+
+// TestStdin feeds the network on stdin instead of -net.
+func TestStdin(t *testing.T) {
+	data, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-from", "1"}, bytes.NewReader(data), &stdout, &stderr); code != 0 {
+		t.Fatalf("stdin run → %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "journeys from vertex 1") {
+		t.Fatalf("stdin output: %s", stdout.String())
+	}
+}
+
+// TestErrors covers flag and input failure paths.
+func TestErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-net", "testdata/absent.tnet"}, nil, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing file → %d, want 1", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-bogus"}, nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag → %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run(nil, strings.NewReader("not a tnet"), &stdout, &stderr); code != 1 {
+		t.Fatalf("garbage stdin → %d, want 1", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-net", fixture, "-from", "-3"}, nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("negative -from → %d, want 2", code)
+	}
+}

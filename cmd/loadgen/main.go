@@ -1,0 +1,335 @@
+// Command loadgen drives a query-serving repro instance (serve -net …)
+// with point or batch journey queries and reports throughput and latency
+// percentiles.
+//
+// Usage:
+//
+//	loadgen -url http://localhost:8080 -duration 10s -c 32            # closed loop
+//	loadgen -url http://localhost:8080 -qps 50000 -c 64 -dist zipf    # open loop
+//	loadgen -url http://localhost:8080 -batch 64 -out loadgen.json
+//
+// Closed loop (-qps 0, the default) has every worker fire its next
+// request the moment the previous answer lands — it measures the
+// server's capacity. Open loop (-qps > 0) paces requests against an
+// absolute schedule regardless of response times, so queueing delay
+// shows up in the latencies instead of being hidden by coordinated
+// omission.
+//
+// Sources and destinations are drawn uniformly or Zipf-distributed
+// (-dist zipf, exponent -zipf-s): the skewed mode concentrates traffic
+// on few sources, the regime where the arrival index's LRU mode shines.
+//
+// With -max-p99 the process exits non-zero when the measured p99 exceeds
+// the bound — the CI smoke gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// config is the parsed flag set.
+type config struct {
+	url      string
+	duration time.Duration
+	qps      float64
+	workers  int
+	dist     string
+	zipfS    float64
+	n        int
+	startMax int
+	batch    int
+	seed     int64
+	maxP99   time.Duration
+	out      string
+}
+
+// report is the run summary, printed to stdout and optionally written as
+// JSON with -out. Latency quantiles are milliseconds.
+type report struct {
+	URL       string  `json:"url"`
+	Mode      string  `json:"mode"` // "closed" or "open"
+	Dist      string  `json:"dist"`
+	Workers   int     `json:"workers"`
+	Batch     int     `json:"batch"`
+	TargetQPS float64 `json:"target_qps,omitempty"`
+	Duration  float64 `json:"duration_s"`
+	Requests  int64   `json:"requests"`
+	Queries   int64   `json:"queries"`
+	Errors    int64   `json:"errors"`
+	QPS       float64 `json:"qps"` // achieved queries/s
+	P50       float64 `json:"p50_ms"`
+	P90       float64 `json:"p90_ms"`
+	P95       float64 `json:"p95_ms"`
+	P99       float64 `json:"p99_ms"`
+	Max       float64 `json:"max_ms"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := config{}
+	fs.StringVar(&cfg.url, "url", "http://localhost:8080", "base URL of the serving instance")
+	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "measurement window")
+	fs.Float64Var(&cfg.qps, "qps", 0, "target queries/s for open-loop pacing (0: closed loop)")
+	fs.IntVar(&cfg.workers, "c", 16, "concurrent workers")
+	fs.StringVar(&cfg.dist, "dist", "uniform", "query key distribution: uniform or zipf")
+	fs.Float64Var(&cfg.zipfS, "zipf-s", 1.1, "zipf exponent (with -dist zipf)")
+	fs.IntVar(&cfg.n, "n", 0, "vertex count (0: fetch from /query/stats)")
+	fs.IntVar(&cfg.startMax, "start", 1, "departure floors drawn uniformly from [1,start]")
+	fs.IntVar(&cfg.batch, "batch", 1, "queries per request (1: GET, >1: batched POST)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "RNG seed")
+	fs.DurationVar(&cfg.maxP99, "max-p99", 0, "fail (exit 1) when p99 exceeds this bound (0: no gate)")
+	fs.StringVar(&cfg.out, "out", "", "write the JSON report to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 2
+	}
+	rep, err := drive(&cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%d requests (%d queries, %d errors) in %.2fs: %.0f queries/s\n",
+		rep.Requests, rep.Queries, rep.Errors, rep.Duration, rep.QPS)
+	fmt.Fprintf(stdout, "latency ms: p50=%.3f p90=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+		rep.P50, rep.P90, rep.P95, rep.P99, rep.Max)
+	if cfg.out != "" {
+		data, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			return 1
+		}
+	}
+	if rep.Errors > 0 {
+		fmt.Fprintf(stderr, "loadgen: %d request errors\n", rep.Errors)
+		return 1
+	}
+	if cfg.maxP99 > 0 && rep.P99 > float64(cfg.maxP99)/1e6 {
+		fmt.Fprintf(stderr, "loadgen: p99 %.3fms exceeds the %s gate\n", rep.P99, cfg.maxP99)
+		return 1
+	}
+	return 0
+}
+
+func (c *config) validate() error {
+	if c.dist != "uniform" && c.dist != "zipf" {
+		return fmt.Errorf("unknown -dist %q (want uniform or zipf)", c.dist)
+	}
+	if c.zipfS <= 1 {
+		return fmt.Errorf("-zipf-s must be > 1, got %g", c.zipfS)
+	}
+	if c.workers < 1 {
+		return fmt.Errorf("-c must be ≥ 1, got %d", c.workers)
+	}
+	if c.batch < 1 {
+		return fmt.Errorf("-batch must be ≥ 1, got %d", c.batch)
+	}
+	if c.startMax < 1 {
+		return fmt.Errorf("-start must be ≥ 1, got %d", c.startMax)
+	}
+	if c.duration <= 0 {
+		return fmt.Errorf("-duration must be positive, got %s", c.duration)
+	}
+	c.url = strings.TrimRight(c.url, "/")
+	return nil
+}
+
+// fetchN asks the server for its vertex count.
+func fetchN(client *http.Client, url string) (int, error) {
+	resp, err := client.Get(url + "/query/stats")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET /query/stats → %d (is the server in query mode?)", resp.StatusCode)
+	}
+	var st struct {
+		N int `json:"n"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, err
+	}
+	if st.N < 1 {
+		return 0, fmt.Errorf("server reports an empty network (n=%d)", st.N)
+	}
+	return st.N, nil
+}
+
+// drawer yields query keys under the configured distribution. Each
+// worker owns one, so no locking.
+type drawer struct {
+	r    *rand.Rand
+	zipf *rand.Zipf
+	n    int
+	smax int
+}
+
+func newDrawer(cfg *config, worker int) *drawer {
+	r := rand.New(rand.NewSource(cfg.seed + int64(worker)*7919))
+	d := &drawer{r: r, n: cfg.n, smax: cfg.startMax}
+	if cfg.dist == "zipf" && cfg.n > 1 {
+		d.zipf = rand.NewZipf(r, cfg.zipfS, 1, uint64(cfg.n-1))
+	}
+	return d
+}
+
+func (d *drawer) vertex() int {
+	if d.zipf != nil {
+		return int(d.zipf.Uint64())
+	}
+	return d.r.Intn(d.n)
+}
+
+func (d *drawer) query() service.PointQuery {
+	q := service.PointQuery{Src: d.vertex(), Dst: d.vertex(), Start: 1}
+	if d.smax > 1 {
+		q.Start = 1 + int32(d.r.Intn(d.smax))
+	}
+	return q
+}
+
+// workerResult is one worker's tally.
+type workerResult struct {
+	lat      []time.Duration
+	requests int64
+	errors   int64
+}
+
+func drive(cfg *config) (*report, error) {
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.workers * 2,
+			MaxIdleConnsPerHost: cfg.workers * 2,
+		},
+		Timeout: 30 * time.Second,
+	}
+	if cfg.n == 0 {
+		n, err := fetchN(client, cfg.url)
+		if err != nil {
+			return nil, err
+		}
+		cfg.n = n
+	}
+	if cfg.n < 1 {
+		return nil, fmt.Errorf("-n must be ≥ 1, got %d", cfg.n)
+	}
+
+	// Open loop: each of the c workers fires every c/qps seconds against
+	// an absolute schedule, so a slow response does not push back the
+	// next send.
+	var interval time.Duration
+	if cfg.qps > 0 {
+		interval = time.Duration(float64(cfg.workers) * float64(time.Second) / cfg.qps)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+	}
+
+	results := make([]workerResult, cfg.workers)
+	begin := time.Now()
+	deadline := begin.Add(cfg.duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := newDrawer(cfg, w)
+			res := &results[w]
+			// Stagger open-loop workers across one interval so sends
+			// spread evenly instead of arriving in bursts of c.
+			next := begin.Add(interval * time.Duration(w) / time.Duration(max(cfg.workers, 1)))
+			for {
+				if interval > 0 {
+					if now := time.Now(); next.After(now) {
+						time.Sleep(next.Sub(now))
+					}
+					next = next.Add(interval)
+				}
+				if !time.Now().Before(deadline) {
+					return
+				}
+				t0 := time.Now()
+				err := fire(client, cfg, d)
+				res.lat = append(res.lat, time.Since(t0))
+				res.requests++
+				if err != nil {
+					res.errors++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	var all []time.Duration
+	rep := &report{
+		URL: cfg.url, Dist: cfg.dist, Workers: cfg.workers, Batch: cfg.batch,
+		TargetQPS: cfg.qps, Mode: "closed", Duration: elapsed.Seconds(),
+	}
+	if cfg.qps > 0 {
+		rep.Mode = "open"
+	}
+	for i := range results {
+		all = append(all, results[i].lat...)
+		rep.Requests += results[i].requests
+		rep.Errors += results[i].errors
+	}
+	rep.Queries = rep.Requests * int64(cfg.batch)
+	rep.QPS = float64(rep.Queries) / elapsed.Seconds()
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	ms := func(q float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(all)-1))
+		return float64(all[i]) / 1e6
+	}
+	rep.P50, rep.P90, rep.P95, rep.P99 = ms(0.50), ms(0.90), ms(0.95), ms(0.99)
+	rep.Max = ms(1)
+	return rep, nil
+}
+
+// fire sends one request — a GET for batch 1, a batched POST otherwise —
+// and drains the response.
+func fire(client *http.Client, cfg *config, d *drawer) error {
+	var resp *http.Response
+	var err error
+	if cfg.batch == 1 {
+		q := d.query()
+		resp, err = client.Get(fmt.Sprintf("%s/query?src=%d&dst=%d&start=%d", cfg.url, q.Src, q.Dst, q.Start))
+	} else {
+		req := service.BatchRequest{Queries: make([]service.PointQuery, cfg.batch)}
+		for i := range req.Queries {
+			req.Queries[i] = d.query()
+		}
+		body, _ := json.Marshal(req)
+		resp, err = client.Post(cfg.url+"/query", "application/json", strings.NewReader(string(body)))
+	}
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}

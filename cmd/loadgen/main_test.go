@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/qindex"
+	"repro/internal/rng"
+	"repro/internal/service"
+	"repro/internal/temporal"
+)
+
+// queryServer boots a real query-serving handler over a small network.
+func queryServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	g := graph.Grid(5, 5)
+	stream := rng.New(3)
+	sets := make([][]int, g.M())
+	for e := range sets {
+		sets[e] = []int{1 + stream.Intn(10), 1 + stream.Intn(10)}
+	}
+	net := temporal.MustNew(g, 10, temporal.LabelingFromSets(sets))
+	m := service.New(service.Options{Workers: 1})
+	t.Cleanup(m.Close)
+	qe := service.NewQueryEngine(qindex.New(net, qindex.Options{Mode: qindex.ModeFull}))
+	srv := httptest.NewServer(service.NewHandlerWith(m, qe))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestClosedLoopRun drives a short closed-loop run end to end, including
+// the /query/stats n discovery and the JSON report file.
+func TestClosedLoopRun(t *testing.T) {
+	srv := queryServer(t)
+	out := filepath.Join(t.TempDir(), "rep.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-url", srv.URL, "-duration", "300ms", "-c", "4",
+		"-start", "3", "-seed", "7", "-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run → %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report file: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if rep.Mode != "closed" || rep.Requests == 0 || rep.Errors != 0 || rep.QPS <= 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 || rep.Max < rep.P99 {
+		t.Fatalf("quantile ordering broken: %+v", rep)
+	}
+	if !strings.Contains(stdout.String(), "queries/s") {
+		t.Fatalf("stdout missing summary: %s", stdout.String())
+	}
+}
+
+// TestOpenLoopZipfBatch exercises open-loop pacing with zipf keys and
+// batched POSTs; target QPS must roughly bound the achieved rate.
+func TestOpenLoopZipfBatch(t *testing.T) {
+	srv := queryServer(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-url", srv.URL, "-duration", "400ms", "-c", "2",
+		"-qps", "50", "-dist", "zipf", "-zipf-s", "1.3", "-batch", "4",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run → %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "requests") {
+		t.Fatalf("stdout: %s", stdout.String())
+	}
+}
+
+// TestMaxP99Gate forces an unmeetable bound and expects exit 1.
+func TestMaxP99Gate(t *testing.T) {
+	srv := queryServer(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-url", srv.URL, "-duration", "200ms", "-c", "2", "-max-p99", "1ns",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run with -max-p99 1ns → %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "exceeds") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+// TestFlagValidation covers the config error paths without a server.
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-dist", "normal"},
+		{"-zipf-s", "0.5"},
+		{"-c", "0"},
+		{"-batch", "0"},
+		{"-start", "0"},
+		{"-duration", "0s"},
+		{"-bogus-flag"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) → %d, want 2", args, code)
+		}
+	}
+}
+
+// TestServerUnavailable: a dead endpoint must fail cleanly, not hang.
+func TestServerUnavailable(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	start := time.Now()
+	code := run([]string{"-url", "http://127.0.0.1:1", "-duration", "100ms"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run against dead server → %d, want 1", code)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("dead-server run hung")
+	}
+}

@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -47,28 +48,36 @@ func buildFamily(name string, n int) (*graph.Graph, error) {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("reach", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		family   = flag.String("family", "star", "graph family")
-		n        = flag.Int("n", 64, "requested size (some families round)")
-		r        = flag.Int("r", 0, "labels per edge (0 = Theorem 7's 2·d·ln n)")
-		estimate = flag.Bool("estimate", false, "estimate the threshold r(n) instead")
-		trials   = flag.Int("trials", 60, "Monte-Carlo trials")
-		seed     = flag.Uint64("seed", 1, "base seed")
+		family   = fs.String("family", "star", "graph family")
+		n        = fs.Int("n", 64, "requested size (some families round)")
+		r        = fs.Int("r", 0, "labels per edge (0 = Theorem 7's 2·d·ln n)")
+		estimate = fs.Bool("estimate", false, "estimate the threshold r(n) instead")
+		trials   = fs.Int("trials", 60, "Monte-Carlo trials")
+		seed     = fs.Uint64("seed", 1, "base seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	g, err := buildFamily(*family, *n)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "reach: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "reach: %v\n", err)
+		return 2
 	}
 	nv := g.N()
 	diam, conn := graph.Diameter(g)
 	if !conn {
-		fmt.Fprintln(os.Stderr, "reach: family instance is disconnected")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "reach: family instance is disconnected")
+		return 1
 	}
-	fmt.Printf("%s: n=%d m=%d diameter=%d lifetime=%d\n", *family, nv, g.M(), diam, nv)
+	fmt.Fprintf(stdout, "%s: n=%d m=%d diameter=%d lifetime=%d\n", *family, nv, g.M(), diam, nv)
 
 	if *estimate {
 		target := core.WHPTarget(nv)
@@ -78,18 +87,19 @@ func main() {
 		if !ok {
 			marker = " (search cap hit)"
 		}
-		fmt.Printf("estimated r(n) at target %.4f: %d%s\n", target, rhat, marker)
-		fmt.Printf("Theorem 7 sufficient r = 2·d·ln n = %d\n", core.TheoremSevenR(nv, diam))
-		fmt.Printf("r(n)/log₂ n = %.2f\n", float64(rhat)/math.Log2(float64(nv)))
-		return
+		fmt.Fprintf(stdout, "estimated r(n) at target %.4f: %d%s\n", target, rhat, marker)
+		fmt.Fprintf(stdout, "Theorem 7 sufficient r = 2·d·ln n = %d\n", core.TheoremSevenR(nv, diam))
+		fmt.Fprintf(stdout, "r(n)/log₂ n = %.2f\n", float64(rhat)/math.Log2(float64(nv)))
+		return 0
 	}
 
 	rr := *r
 	if rr == 0 {
 		rr = core.TheoremSevenR(nv, diam)
-		fmt.Printf("using Theorem 7's r = 2·d·ln n = %d\n", rr)
+		fmt.Fprintf(stdout, "using Theorem 7's r = 2·d·ln n = %d\n", rr)
 	}
 	rate, lo, hi := core.ReachabilityRate(g, nv, rr, *trials, *seed)
-	fmt.Printf("Pr[Treach] with r=%d: %.3f  (95%% CI [%.3f, %.3f], %d trials)\n", rr, rate, lo, hi, *trials)
-	fmt.Printf("whp target 1-1/n = %.4f\n", core.WHPTarget(nv))
+	fmt.Fprintf(stdout, "Pr[Treach] with r=%d: %.3f  (95%% CI [%.3f, %.3f], %d trials)\n", rr, rate, lo, hi, *trials)
+	fmt.Fprintf(stdout, "whp target 1-1/n = %.4f\n", core.WHPTarget(nv))
+	return 0
 }

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestBuildFamily pins the size rounding of each family and the unknown
+// error.
+func TestBuildFamily(t *testing.T) {
+	cases := []struct {
+		family string
+		n      int
+		wantN  int
+	}{
+		{"star", 16, 16},
+		{"path", 9, 9},
+		{"cycle", 8, 8},
+		{"grid", 10, 12}, // ⌈10/4⌉ = 3 rows × 4
+		{"hypercube", 20, 16},
+		{"bintree", 7, 7},
+		{"clique", 5, 5},
+	}
+	for _, c := range cases {
+		g, err := buildFamily(c.family, c.n)
+		if err != nil {
+			t.Fatalf("buildFamily(%q, %d): %v", c.family, c.n, err)
+		}
+		if g.N() != c.wantN {
+			t.Errorf("buildFamily(%q, %d).N() = %d, want %d", c.family, c.n, g.N(), c.wantN)
+		}
+	}
+	if _, err := buildFamily("mobius", 8); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+// TestRateRun checks the fixed-r Monte-Carlo output, deterministic for a
+// fixed seed, on a small star where r = 8 is ample.
+func TestRateRun(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-family", "star", "-n", "32", "-r", "8", "-trials", "20", "-seed", "3"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run → %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"star: n=32 m=31 diameter=2 lifetime=32",
+		"Pr[Treach] with r=8:",
+		"95% CI",
+		"whp target 1-1/n = 0.9688",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Determinism: an identical invocation must render byte-identically.
+	var again bytes.Buffer
+	run([]string{"-family", "star", "-n", "32", "-r", "8", "-trials", "20", "-seed", "3"},
+		&again, &stderr)
+	if again.String() != out {
+		t.Fatalf("same seed, different output:\n%s\nvs\n%s", out, again.String())
+	}
+}
+
+// TestDefaultRUsesTheoremSeven: with -r 0 the tool must announce the
+// Theorem 7 bound it substituted.
+func TestDefaultRUsesTheoremSeven(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-family", "path", "-n", "8", "-trials", "4"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run → %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "using Theorem 7's r = 2·d·ln n") {
+		t.Fatalf("missing Theorem 7 line:\n%s", stdout.String())
+	}
+}
+
+// TestEstimateRun drives the threshold search on a tiny instance.
+func TestEstimateRun(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-family", "star", "-n", "16", "-estimate", "-trials", "10", "-seed", "2"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run → %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"estimated r(n) at target", "Theorem 7 sufficient r", "r(n)/log₂ n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFlagErrors covers the non-zero exits.
+func TestFlagErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-family", "mobius"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown family → %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag → %d, want 2", code)
+	}
+}

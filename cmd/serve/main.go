@@ -5,6 +5,15 @@
 // Usage:
 //
 //	serve -addr :8080 -workers 4 -cache 256 -queue 256 [-pprof]
+//	serve -addr :8080 -net network.tnet -qindex auto -qindex-mem 256
+//
+// With -net the process additionally serves interactive journey queries
+// over the loaded temporal network, answered from a precomputed arrival
+// index (internal/qindex) with request coalescing:
+//
+//	GET  /query?src=&dst=&start=[&journey=1]
+//	POST /query {"queries":[{"src":0,"dst":9,"start":3},…]}
+//	GET  /query/stats
 //
 // Endpoints (see internal/service.NewHandler):
 //
@@ -33,6 +42,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"log/slog"
 	"net/http"
@@ -43,26 +53,41 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/qindex"
 	"repro/internal/service"
+	"repro/internal/temporal"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "concurrent jobs (0: half of GOMAXPROCS)")
-		cache   = flag.Int("cache", 256, "LRU result-cache capacity")
-		queue   = flag.Int("queue", 256, "job queue depth")
-		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "concurrent jobs (0: half of GOMAXPROCS)")
+		cache     = flag.Int("cache", 256, "LRU result-cache capacity")
+		queue     = flag.Int("queue", 256, "job queue depth")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		netPath   = flag.String("net", "", "temporal network (.tnet) to serve /query over")
+		qmode     = flag.String("qindex", "auto", "arrival index mode: auto, full, lru or off")
+		qmem      = flag.Int64("qindex-mem", 256, "arrival-index memory budget in MiB")
+		accessLog = flag.Bool("access-log", true, "log every request (method, path, status, duration)")
 	)
 	flag.Parse()
+
+	qe, err := buildQueryEngine(*netPath, *qmode, *qmem)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
 
 	m := service.New(service.Options{Workers: *workers, CacheSize: *cache, QueueDepth: *queue})
 	defer m.Close()
 
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	handler := newMux(m, qe, *pprofOn)
+	if *accessLog {
+		logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+		handler = logRequests(logger, handler)
+	}
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      logRequests(logger, newMux(m, *pprofOn)),
+		Handler:      handler,
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 5 * time.Minute, // full-scale results take a while to render
 	}
@@ -87,10 +112,36 @@ func main() {
 	<-drained // wait for in-flight responses before tearing down the manager
 }
 
+// buildQueryEngine loads the network at path and precomputes its arrival
+// index; a "" path means no query surface (qe == nil).
+func buildQueryEngine(path, mode string, memMiB int64) (*service.QueryEngine, error) {
+	if path == "" {
+		return nil, nil
+	}
+	qm, err := qindex.ParseMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	net, err := temporal.Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("decode %s: %w", path, err)
+	}
+	ix := qindex.New(net, qindex.Options{Mode: qm, MemBudget: memMiB << 20})
+	st := ix.Stats()
+	log.Printf("serve: query index over %s: n=%d mode=%s resident_rows=%d build_ms=%d",
+		path, st.N, st.Mode, st.ResidentRows, st.BuildMS)
+	return service.NewQueryEngine(ix), nil
+}
+
 // newMux assembles the full handler: the service API plus the
 // observability endpoints, with the pprof handlers mounted only when
 // requested (profiling endpoints are too sharp to expose by default).
-func newMux(m *service.Manager, pprofOn bool) http.Handler {
+func newMux(m *service.Manager, qe *service.QueryEngine, pprofOn bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", obs.Handler())
 	mux.Handle("GET /debug/trace", obs.TraceHandler())
@@ -101,7 +152,7 @@ func newMux(m *service.Manager, pprofOn bool) http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	mux.Handle("/", service.NewHandler(m))
+	mux.Handle("/", service.NewHandlerWith(m, qe))
 	return mux
 }
 

@@ -6,19 +6,24 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 
+	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/rng"
 	"repro/internal/service"
+	"repro/internal/temporal"
 )
 
 func testMux(t *testing.T, pprofOn bool) http.Handler {
 	t.Helper()
 	m := service.New(service.Options{Workers: 1})
 	t.Cleanup(m.Close)
-	return newMux(m, pprofOn)
+	return newMux(m, nil, pprofOn)
 }
 
 // TestMetricsEndpoint asserts GET /metrics serves parseable Prometheus
@@ -109,6 +114,91 @@ func TestAccessLog(t *testing.T) {
 		if !strings.Contains(line, want) {
 			t.Errorf("access log missing %q: %s", want, line)
 		}
+	}
+}
+
+// TestQueryMode drives the -net path end to end: encode a network to
+// disk, build the engine the way main does, and serve /query and
+// /query/stats through the full serve mux, checking the qindex metric
+// families land in /metrics.
+func TestQueryMode(t *testing.T) {
+	g := graph.Grid(3, 3)
+	stream := rng.New(9)
+	sets := make([][]int, g.M())
+	for e := range sets {
+		sets[e] = []int{1 + stream.Intn(8), 1 + stream.Intn(8)}
+	}
+	net := temporal.MustNew(g, 8, temporal.LabelingFromSets(sets))
+	path := filepath.Join(t.TempDir(), "q.tnet")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	qe, err := buildQueryEngine(path, "full", 64)
+	if err != nil {
+		t.Fatalf("buildQueryEngine: %v", err)
+	}
+	m := service.New(service.Options{Workers: 1})
+	t.Cleanup(m.Close)
+	h := newMux(m, qe, false)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/query?src=0&dst=8", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /query → %d: %s", rec.Code, rec.Body.String())
+	}
+	var ans struct {
+		Arrival int32 `json:"arrival"`
+		Reached bool  `json:"reached"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ans); err != nil {
+		t.Fatalf("bad answer: %v", err)
+	}
+	if want := net.EarliestArrivals(0)[8]; want == temporal.Unreachable {
+		if ans.Reached {
+			t.Fatalf("want unreachable, got %+v", ans)
+		}
+	} else if !ans.Reached || ans.Arrival != want {
+		t.Fatalf("arrival %d reached=%v, want %d", ans.Arrival, ans.Reached, want)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/query/stats", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"mode":"full"`) {
+		t.Fatalf("GET /query/stats → %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	for _, series := range []string{"qindex_hits_total", "qindex_rows_computed_total", "qindex_resident_rows"} {
+		if !strings.Contains(rec.Body.String(), series) {
+			t.Errorf("metrics missing %q", series)
+		}
+	}
+}
+
+// TestBuildQueryEngineErrors covers the no-op and failure paths.
+func TestBuildQueryEngineErrors(t *testing.T) {
+	if qe, err := buildQueryEngine("", "auto", 1); qe != nil || err != nil {
+		t.Fatalf("empty path → (%v, %v), want (nil, nil)", qe, err)
+	}
+	if _, err := buildQueryEngine("nope.tnet", "banana", 1); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if _, err := buildQueryEngine(filepath.Join(t.TempDir(), "missing.tnet"), "auto", 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.tnet")
+	if err := os.WriteFile(bad, []byte("not a tnet"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildQueryEngine(bad, "auto", 1); err == nil {
+		t.Fatal("garbage network accepted")
 	}
 }
 

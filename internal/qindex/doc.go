@@ -1,0 +1,34 @@
+// Package qindex serves interactive point queries — earliest arrival from
+// src to dst for journeys departing no earlier than start — over a fixed
+// temporal network, the always-on counterpart of the offline experiment
+// loops.
+//
+// An Index holds precomputed per-source arrival rows in one of three
+// modes:
+//
+//   - ModeFull: the complete n×n arrival table at start = 1, built 64
+//     sources per pass on the bit-parallel batch kernel
+//     (temporal.ArrivalRowsBatch). A query hit is one slice lookup.
+//   - ModeLRU: a memory-budgeted LRU of arrival rows keyed (src, start).
+//     A miss runs one pooled frontier query
+//     (temporal.EarliestArrivalsFromInto) and caches the row; eviction
+//     recycles row buffers, so the steady state allocates nothing.
+//   - ModeOff: no resident rows — every query runs the frontier kernel.
+//     The baseline the differential tests pin the cached modes against.
+//
+// Duplicate in-flight keys are coalesced singleflight-style: concurrent
+// queries for the same (src, start) row share one underlying kernel run,
+// and the waiters are counted (qindex_coalesced_total). Restricted
+// queries (start > 1) take the LRU/flight path in every mode, so ModeFull
+// still answers them correctly — just without precomputation.
+//
+// Answers are deterministic: the batch, frontier and linear kernels are
+// pinned bit-identical by differential tests, so the same network returns
+// the same arrival for a query regardless of index mode, cache state, or
+// interleaving.
+//
+// The package is instrumented through internal/obs: qindex_hits_total,
+// qindex_misses_total, qindex_evictions_total, qindex_coalesced_total,
+// qindex_rows_computed_total, the qindex_resident_rows gauge, and
+// build/compute latency histograms.
+package qindex

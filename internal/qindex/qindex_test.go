@@ -1,0 +1,285 @@
+package qindex
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/avail"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/temporal"
+)
+
+// availNetworks is the differential matrix: every registered availability
+// model over substrates including the degenerate n = 0 and 1.
+func availNetworks(t testing.TB) []struct {
+	name string
+	net  *temporal.Network
+} {
+	t.Helper()
+	var out []struct {
+		name string
+		net  *temporal.Network
+	}
+	substrates := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"empty", graph.NewBuilder(0, false).Build()},
+		{"single", graph.Clique(1, false)},
+		{"clique10", graph.Clique(10, false)},
+		{"dpath8", graph.Path(8)},
+		{"grid3x4", graph.Grid(3, 4)},
+	}
+	idx := uint64(0)
+	for _, name := range avail.Names() {
+		m, err := avail.Build(name, avail.Params{Lifetime: 14})
+		if err != nil {
+			t.Fatalf("Build(%q): %v", name, err)
+		}
+		for _, sub := range substrates {
+			idx++
+			out = append(out, struct {
+				name string
+				net  *temporal.Network
+			}{fmt.Sprintf("%s/%s", name, sub.name), avail.Network(m, sub.g, rng.NewStream(41, idx))})
+		}
+	}
+	return out
+}
+
+// modesFor returns one index per mode over net, with the LRU budget
+// squeezed to two rows so evictions and recomputes actually happen.
+func modesFor(net *temporal.Network) map[string]*Index {
+	n := net.Graph().N()
+	return map[string]*Index{
+		"full": New(net, Options{Mode: ModeFull}),
+		"lru":  New(net, Options{Mode: ModeLRU, MemBudget: 2 * rowBytes(max(n, 1))}),
+		"off":  New(net, Options{Mode: ModeOff}),
+		"auto": New(net, Options{}),
+	}
+}
+
+// TestDifferentialAcrossModesAndModels pins every mode's answers
+// bit-identical to the frontier ground truth — and, at start = 1, to
+// ForemostJourney — for every model × substrate, every (src, dst) pair
+// and a spread of departure floors. Queries repeat so hits, misses,
+// evictions and recomputes all occur mid-stream.
+func TestDifferentialAcrossModesAndModels(t *testing.T) {
+	for _, tn := range availNetworks(t) {
+		nv := tn.net.Graph().N()
+		life := int32(tn.net.Lifetime())
+		truth := make([]int32, nv)
+		for mode, ix := range modesFor(tn.net) {
+			if nv == 0 {
+				// No valid queries; the index must still build and report.
+				if st := ix.Stats(); st.N != 0 {
+					t.Fatalf("%s/%s: n=0 stats %+v", tn.name, mode, st)
+				}
+				continue
+			}
+			for pass := 0; pass < 2; pass++ { // second pass re-asks: hit paths
+				for _, start := range []int32{1, 2, life / 2, life, life + 3} {
+					for s := 0; s < nv; s++ {
+						tn.net.EarliestArrivalsFromInto(s, start, truth)
+						for v := 0; v < nv; v++ {
+							if got := ix.Arrival(s, v, start); got != truth[v] {
+								t.Fatalf("%s/%s: (%d,%d,start=%d) = %d, frontier %d",
+									tn.name, mode, s, v, start, got, truth[v])
+							}
+							if start == 1 {
+								j, ok := tn.net.ForemostJourney(s, v)
+								if ok != (truth[v] != temporal.Unreachable) {
+									t.Fatalf("%s: ForemostJourney(%d,%d) ok=%v, δ=%d",
+										tn.name, s, v, ok, truth[v])
+								}
+								if ok && s != v && j.ArrivalTime() != truth[v] {
+									t.Fatalf("%s: journey arrives %d, δ=%d", tn.name, j.ArrivalTime(), truth[v])
+								}
+							}
+						}
+					}
+				}
+			}
+			st := ix.Stats()
+			if mode != "off" && st.Hits == 0 && nv > 1 {
+				t.Fatalf("%s/%s: no hits recorded: %+v", tn.name, mode, st)
+			}
+			if mode == "off" && st.ResidentRows != 0 {
+				t.Fatalf("%s/off holds rows: %+v", tn.name, st)
+			}
+		}
+	}
+}
+
+// queryNetwork builds a moderate fixture with r uniform labels per edge.
+func queryNetwork(tb testing.TB, g *graph.Graph, lifetime, r int, seed uint64) *temporal.Network {
+	tb.Helper()
+	stream := rng.New(seed)
+	sets := make([][]int, g.M())
+	for e := range sets {
+		for k := 0; k < r; k++ {
+			sets[e] = append(sets[e], 1+stream.Intn(lifetime))
+		}
+	}
+	return temporal.MustNew(g, lifetime, temporal.LabelingFromSets(sets))
+}
+
+// TestCoalescingSingleCompute launches many concurrent queries for one
+// (src, dst, start) key on a cold index and asserts exactly one kernel
+// run happened: the leader blocks inside the compute hook until every
+// other goroutine has registered as a coalesced waiter.
+func TestCoalescingSingleCompute(t *testing.T) {
+	net := queryNetwork(t, graph.Grid(6, 6), 40, 2, 17)
+	ix := New(net, Options{Mode: ModeLRU, MemBudget: 64 * rowBytes(36)})
+	const waiters = 8
+	ix.computeHook = func(src int, start int32) {
+		deadline := time.Now().Add(5 * time.Second)
+		for ix.coalesced.Load() < waiters-1 {
+			if time.Now().After(deadline) {
+				t.Errorf("only %d/%d waiters coalesced", ix.coalesced.Load(), waiters-1)
+				return
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	truth := make([]int32, 36)
+	net.EarliestArrivalsFromInto(3, 2, truth)
+	var wg sync.WaitGroup
+	answers := make([]int32, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			answers[i] = ix.Arrival(3, 30, 2)
+		}(i)
+	}
+	wg.Wait()
+	for i, a := range answers {
+		if a != truth[30] {
+			t.Fatalf("waiter %d got %d, want %d", i, a, truth[30])
+		}
+	}
+	st := ix.Stats()
+	if st.RowsComputed != 1 {
+		t.Fatalf("rows computed = %d, want 1 (stats %+v)", st.RowsComputed, st)
+	}
+	if st.Coalesced != waiters-1 {
+		t.Fatalf("coalesced = %d, want %d", st.Coalesced, waiters-1)
+	}
+	if st.Misses != waiters {
+		t.Fatalf("misses = %d, want %d", st.Misses, waiters)
+	}
+	// The computed row is now resident: one more ask is a pure hit.
+	if got := ix.Arrival(3, 30, 2); got != truth[30] {
+		t.Fatalf("post-coalesce hit = %d, want %d", got, truth[30])
+	}
+	if st2 := ix.Stats(); st2.Hits != st.Hits+1 || st2.RowsComputed != 1 {
+		t.Fatalf("follow-up not a hit: before %+v after %+v", st, st2)
+	}
+}
+
+// TestLRUEvictionAndRecompute squeezes the budget to two rows and walks
+// three sources: the oldest row must fall out and cost a recompute on
+// return, with buffers recycled rather than reallocated.
+func TestLRUEvictionAndRecompute(t *testing.T) {
+	net := queryNetwork(t, graph.Clique(12, false), 24, 2, 5)
+	ix := New(net, Options{Mode: ModeLRU, MemBudget: 2 * rowBytes(12)})
+	if ix.maxRows != 2 {
+		t.Fatalf("maxRows = %d, want 2", ix.maxRows)
+	}
+	for _, src := range []int{0, 1, 2} {
+		ix.Arrival(src, 5, 1)
+	}
+	st := ix.Stats()
+	if st.Evictions == 0 || st.ResidentRows != 2 {
+		t.Fatalf("after 3 sources: %+v", st)
+	}
+	// Source 0 was evicted: asking again recomputes; sources 1 and 2 hit.
+	ix.Arrival(2, 7, 1)
+	ix.Arrival(1, 7, 1)
+	ix.Arrival(0, 7, 1)
+	st2 := ix.Stats()
+	if st2.RowsComputed != st.RowsComputed+1 {
+		t.Fatalf("re-ask of evicted row: computed %d → %d, want +1", st.RowsComputed, st2.RowsComputed)
+	}
+	if hits := st2.Hits - st.Hits; hits != 2 {
+		t.Fatalf("resident re-asks: %d hits, want 2", hits)
+	}
+}
+
+// TestModeAutoPivot checks the budget pivot between full and LRU.
+func TestModeAutoPivot(t *testing.T) {
+	net := queryNetwork(t, graph.Path(16), 10, 1, 9)
+	if ix := New(net, Options{MemBudget: FullTableBytes(16)}); ix.Mode() != ModeFull {
+		t.Fatalf("ample budget resolved to %v", ix.Mode())
+	}
+	if ix := New(net, Options{MemBudget: FullTableBytes(16) - 1}); ix.Mode() != ModeLRU {
+		t.Fatalf("tight budget resolved to %v", ix.Mode())
+	}
+}
+
+// TestFullModeRestrictedStart exercises ModeFull's fallthrough for
+// start > 1 queries (uncached coalesced computes) and its build stats.
+func TestFullModeRestrictedStart(t *testing.T) {
+	net := queryNetwork(t, graph.Grid(4, 4), 20, 2, 13)
+	ix := New(net, Options{Mode: ModeFull, Workers: 3})
+	truth := make([]int32, 16)
+	net.EarliestArrivalsFromInto(2, 9, truth)
+	for v := 0; v < 16; v++ {
+		if got := ix.Arrival(2, v, 9); got != truth[v] {
+			t.Fatalf("(2,%d,start=9) = %d, want %d", v, got, truth[v])
+		}
+	}
+	st := ix.Stats()
+	if st.Mode != "full" || st.ResidentRows != 16 || st.RowsComputed < 16 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestParseMode round-trips the flag names and rejects junk.
+func TestParseMode(t *testing.T) {
+	for _, m := range []Mode{ModeAuto, ModeFull, ModeLRU, ModeOff} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMode("banana"); err == nil {
+		t.Fatal("ParseMode accepted junk")
+	}
+	if s := Mode(99).String(); s != "Mode(99)" {
+		t.Fatalf("Mode(99).String() = %q", s)
+	}
+}
+
+// TestConcurrentMixedQueries hammers one LRU index from many goroutines
+// with overlapping keys under -race, checking every answer against the
+// precomputed truth table.
+func TestConcurrentMixedQueries(t *testing.T) {
+	g := graph.Clique(20, false)
+	net := queryNetwork(t, g, 30, 2, 23)
+	ix := New(net, Options{Mode: ModeLRU, MemBudget: 4 * rowBytes(20)})
+	truth := make([][]int32, 20)
+	for s := range truth {
+		truth[s] = net.EarliestArrivals(s)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stream := rng.New(uint64(w) + 100)
+			for i := 0; i < 400; i++ {
+				s, v := stream.Intn(20), stream.Intn(20)
+				if got := ix.Arrival(s, v, 1); got != truth[s][v] {
+					t.Errorf("(%d,%d) = %d, want %d", s, v, got, truth[s][v])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,237 @@
+package service
+
+// The journey-query serving surface: point and batch earliest-arrival
+// queries over one loaded temporal network, answered from an
+// internal/qindex arrival index. Unlike the job endpoints these are
+// synchronous — a query is microseconds of work, so there is no queue,
+// no job id, and no result cache beyond the index itself.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/qindex"
+	"repro/internal/temporal"
+)
+
+// Query-serving bounds. Batch payloads beyond either bound are rejected
+// with 413 before any query runs.
+const (
+	DefaultMaxBatch    = 4096
+	DefaultMaxBodySize = 1 << 20 // 1 MiB
+)
+
+// QueryEngine serves (src, dst, start) queries over one network through
+// an arrival index.
+type QueryEngine struct {
+	Index *qindex.Index
+	// MaxBatch bounds queries per POST /query request; 0 means
+	// DefaultMaxBatch.
+	MaxBatch int
+	// MaxBody bounds the POST /query body in bytes; 0 means
+	// DefaultMaxBodySize.
+	MaxBody int64
+}
+
+// NewQueryEngine returns an engine with default bounds.
+func NewQueryEngine(ix *qindex.Index) *QueryEngine {
+	return &QueryEngine{Index: ix}
+}
+
+func (qe *QueryEngine) maxBatch() int {
+	if qe.MaxBatch > 0 {
+		return qe.MaxBatch
+	}
+	return DefaultMaxBatch
+}
+
+func (qe *QueryEngine) maxBody() int64 {
+	if qe.MaxBody > 0 {
+		return qe.MaxBody
+	}
+	return DefaultMaxBodySize
+}
+
+// PointQuery is one (src, dst, start) question. Start ≤ 0 defaults to 1
+// (the unrestricted query).
+type PointQuery struct {
+	Src   int   `json:"src"`
+	Dst   int   `json:"dst"`
+	Start int32 `json:"start"`
+}
+
+// JourneyHop is one hop of a reconstructed journey.
+type JourneyHop struct {
+	From  int   `json:"from"`
+	To    int   `json:"to"`
+	Edge  int   `json:"edge"`
+	Label int32 `json:"label"`
+}
+
+// QueryAnswer is the answer to one point query. Arrival is -1 when no
+// journey exists (Reached false); Journey is present only when requested
+// on the single-query endpoint.
+type QueryAnswer struct {
+	Src     int          `json:"src"`
+	Dst     int          `json:"dst"`
+	Start   int32        `json:"start"`
+	Arrival int32        `json:"arrival"`
+	Reached bool         `json:"reached"`
+	Journey []JourneyHop `json:"journey,omitempty"`
+}
+
+// validate normalizes q and reports the first constraint it violates.
+func (qe *QueryEngine) validate(q *PointQuery) error {
+	n := qe.Index.N()
+	if q.Src < 0 || q.Src >= n {
+		return fmt.Errorf("src %d outside [0,%d)", q.Src, n)
+	}
+	if q.Dst < 0 || q.Dst >= n {
+		return fmt.Errorf("dst %d outside [0,%d)", q.Dst, n)
+	}
+	if q.Start <= 0 {
+		q.Start = 1
+	}
+	return nil
+}
+
+// answer runs one validated query against the index.
+func (qe *QueryEngine) answer(q PointQuery) QueryAnswer {
+	a := qe.Index.Arrival(q.Src, q.Dst, q.Start)
+	ans := QueryAnswer{Src: q.Src, Dst: q.Dst, Start: q.Start, Arrival: a, Reached: a != temporal.Unreachable}
+	if !ans.Reached {
+		ans.Arrival = -1
+	}
+	return ans
+}
+
+// register mounts the query endpoints on the service mux:
+//
+//	GET  /query?src=&dst=&start=&journey=   one point query
+//	POST /query {"queries":[{...}]}         batch of point queries
+//	GET  /query/stats                       network + index snapshot
+func (qe *QueryEngine) register(mux *http.ServeMux) {
+	mux.HandleFunc("GET /query", qe.handleGet)
+	mux.HandleFunc("POST /query", qe.handleBatch)
+	mux.HandleFunc("GET /query/stats", qe.handleStats)
+}
+
+func (qe *QueryEngine) handleGet(w http.ResponseWriter, r *http.Request) {
+	qv := r.URL.Query()
+	q := PointQuery{Start: 1}
+	var err error
+	if q.Src, err = strconv.Atoi(qv.Get("src")); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad src %q", qv.Get("src"))
+		return
+	}
+	if q.Dst, err = strconv.Atoi(qv.Get("dst")); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad dst %q", qv.Get("dst"))
+		return
+	}
+	if s := qv.Get("start"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 32)
+		if err != nil || v < 1 {
+			writeErr(w, http.StatusBadRequest, "bad start %q (want integer ≥ 1)", s)
+			return
+		}
+		q.Start = int32(v)
+	}
+	if err := qe.validate(&q); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ans := qe.answer(q)
+	if wantJourney(qv.Get("journey")) && ans.Reached {
+		j, ok := qe.Index.Net().ForemostJourneyFrom(q.Src, q.Dst, q.Start)
+		if ok {
+			hops := make([]JourneyHop, len(j))
+			for i, h := range j {
+				hops[i] = JourneyHop{From: h.From, To: h.To, Edge: h.Edge, Label: h.Label}
+			}
+			ans.Journey = hops
+		}
+	}
+	writeJSON(w, http.StatusOK, ans)
+}
+
+func wantJourney(v string) bool { return v == "1" || v == "true" }
+
+// BatchRequest is the POST /query payload.
+type BatchRequest struct {
+	Queries []PointQuery `json:"queries"`
+}
+
+// BatchResponse is the POST /query result, answers in request order.
+type BatchResponse struct {
+	Answers []QueryAnswer `json:"answers"`
+}
+
+func (qe *QueryEngine) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeBody(w, r, qe.maxBody(), &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty batch: want {\"queries\":[{\"src\":…,\"dst\":…},…]}")
+		return
+	}
+	if len(req.Queries) > qe.maxBatch() {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			"batch of %d queries exceeds the %d-query bound", len(req.Queries), qe.maxBatch())
+		return
+	}
+	for i := range req.Queries {
+		if err := qe.validate(&req.Queries[i]); err != nil {
+			writeErr(w, http.StatusBadRequest, "query %d: %v", i, err)
+			return
+		}
+	}
+	resp := BatchResponse{Answers: make([]QueryAnswer, len(req.Queries))}
+	for i, q := range req.Queries {
+		resp.Answers[i] = qe.answer(q)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// QueryStats is the GET /query/stats snapshot.
+type QueryStats struct {
+	N        int          `json:"n"`
+	M        int          `json:"m"`
+	Labels   int          `json:"labels"`
+	Lifetime int          `json:"lifetime"`
+	Directed bool         `json:"directed"`
+	Index    qindex.Stats `json:"index"`
+}
+
+func (qe *QueryEngine) handleStats(w http.ResponseWriter, r *http.Request) {
+	net := qe.Index.Net()
+	writeJSON(w, http.StatusOK, QueryStats{
+		N:        net.Graph().N(),
+		M:        net.Graph().M(),
+		Labels:   net.LabelCount(),
+		Lifetime: net.Lifetime(),
+		Directed: net.Graph().Directed(),
+		Index:    qe.Index.Stats(),
+	})
+}
+
+// decodeBody decodes a JSON request body bounded by limit bytes into v,
+// writing the conventional JSON error response — 413 for oversized
+// payloads, 400 for malformed ones — and returning false on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}

@@ -39,9 +39,24 @@ type ExperimentInfo struct {
 // cache with experiment jobs, so /jobs/{id} and cancel work on them too;
 // the /sweeps views just reject non-sweep ids.
 //
-// Errors are {"error": "..."} with conventional status codes.
-func NewHandler(m *Manager) http.Handler {
+// Errors are {"error": "..."} with conventional status codes: 400 for
+// malformed requests, 413 for oversized bodies (submit bodies are bounded
+// by DefaultMaxBodySize).
+func NewHandler(m *Manager) http.Handler { return NewHandlerWith(m, nil) }
+
+// NewHandlerWith is NewHandler plus the query-serving surface: when qe is
+// non-nil the handler additionally serves
+//
+//	GET  /query?src=&dst=&start=[&journey=1]  point query (arrival, journey)
+//	POST /query                               batch of point queries
+//	GET  /query/stats                         network + index snapshot
+//
+// over the engine's loaded network (see cmd/serve's -net flag).
+func NewHandlerWith(m *Manager, qe *QueryEngine) http.Handler {
 	mux := http.NewServeMux()
+	if qe != nil {
+		qe.register(mux)
+	}
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -84,8 +99,7 @@ func NewHandler(m *Manager) http.Handler {
 
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req Request
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		if !decodeBody(w, r, DefaultMaxBodySize, &req) {
 			return
 		}
 		job, err := m.Submit(req)
@@ -152,8 +166,7 @@ func NewHandler(m *Manager) http.Handler {
 
 	mux.HandleFunc("POST /sweeps", func(w http.ResponseWriter, r *http.Request) {
 		var req SweepRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		if !decodeBody(w, r, DefaultMaxBodySize, &req) {
 			return
 		}
 		job, err := m.SubmitSweep(req)

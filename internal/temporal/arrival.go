@@ -22,6 +22,21 @@ func (n *Network) EarliestArrivalsInto(s int, arr []int32) int {
 	return reached
 }
 
+// EarliestArrivalsFromInto is EarliestArrivalsInto restricted to journeys
+// whose first hop departs no earlier than start (start ≤ 1 is the
+// unrestricted query): arr must have length N() and is overwritten, with
+// arr[s] = 0. It returns the number of reached vertices counting s. This
+// is the on-miss recompute path of the query index (internal/qindex).
+func (n *Network) EarliestArrivalsFromInto(s int, start int32, arr []int32) int {
+	if start < 1 {
+		start = 1
+	}
+	sc := getScratch()
+	reached, _ := n.earliestArrivalsFrontier(s, start, arr, nil, sc)
+	putScratch(sc)
+	return reached
+}
+
 // EarliestArrivalsLinearInto computes the same arrival vector with the
 // original single-pass kernel: one scan of the label-sorted time-edge list
 // applying "arr[u] < l ⇒ arr[v] ← min(arr[v], l)". Processing labels in
@@ -84,6 +99,17 @@ func (n *Network) edgeEndpointArrays() (from, to []int32) {
 // returns the empty journey.
 func (n *Network) ForemostJourney(s, t int) (Journey, bool) {
 	return n.foremostRestricted(s, t, 1)
+}
+
+// ForemostJourneyFrom is ForemostJourney restricted to journeys whose
+// first hop departs no earlier than start: the journey arrives at exactly
+// EarliestArrivalsFromInto's δ_start(s,t), or ok=false when no such
+// journey exists. start ≤ 1 is the unrestricted query.
+func (n *Network) ForemostJourneyFrom(s, t int, start int32) (Journey, bool) {
+	if start < 1 {
+		start = 1
+	}
+	return n.foremostRestricted(s, t, start)
 }
 
 // foremostRestricted is ForemostJourney over journeys departing no earlier
