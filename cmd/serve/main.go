@@ -6,6 +6,7 @@
 //
 //	serve -addr :8080 -workers 4 -cache 256 -queue 256 [-pprof]
 //	serve -addr :8080 -net network.tnet -qindex auto -qindex-mem 256
+//	serve -addr :8080 -lease-ttl 30s -ckpt-dir /var/lib/repro  # sweep coordinator
 //
 // With -net the process additionally serves interactive journey queries
 // over the loaded temporal network, answered from a precomputed arrival
@@ -26,6 +27,10 @@
 //	POST /sweeps                    adaptive grid sweep (SweepRequest)
 //	GET  /sweeps/{id}               sweep status + per-cell progress
 //	GET  /sweeps/{id}/result?format=json|csv|md
+//	POST /sweeps/{id}/lease         distributed sweeps: cell leases (cmd/sweepworker)
+//	POST /sweeps/{id}/cells         distributed sweeps: report completed cells
+//	POST /sweeps/{id}/heartbeat     distributed sweeps: extend a worker's leases
+//	GET  /sweeps/{id}/checkpoint    distributed sweeps: durable progress snapshot
 //	GET  /healthz                   liveness
 //	GET  /stats                     jobs run, cache hit rate, duration p50/p95/p99
 //	GET  /metrics                   Prometheus text exposition (internal/obs)
@@ -69,6 +74,8 @@ func main() {
 		qmode     = flag.String("qindex", "auto", "arrival index mode: auto, full, lru or off")
 		qmem      = flag.Int64("qindex-mem", 256, "arrival-index memory budget in MiB")
 		accessLog = flag.Bool("access-log", true, "log every request (method, path, status, duration)")
+		leaseTTL  = flag.Duration("lease-ttl", service.DefaultLeaseTTL, "distributed sweeps: cell lease lifetime before straggler re-lease")
+		ckptDir   = flag.String("ckpt-dir", "", "distributed sweeps: directory for durable per-sweep checkpoints (empty: in-memory only)")
 	)
 	flag.Parse()
 
@@ -77,7 +84,10 @@ func main() {
 		log.Fatalf("serve: %v", err)
 	}
 
-	m := service.New(service.Options{Workers: *workers, CacheSize: *cache, QueueDepth: *queue})
+	m := service.New(service.Options{
+		Workers: *workers, CacheSize: *cache, QueueDepth: *queue,
+		LeaseTTL: *leaseTTL, CheckpointDir: *ckptDir,
+	})
 	defer m.Close()
 
 	handler := newMux(m, qe, *pprofOn)
@@ -85,12 +95,7 @@ func main() {
 		logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 		handler = logRequests(logger, handler)
 	}
-	srv := &http.Server{
-		Addr:         *addr,
-		Handler:      handler,
-		ReadTimeout:  30 * time.Second,
-		WriteTimeout: 5 * time.Minute, // full-scale results take a while to render
-	}
+	srv := newServer(*addr, handler)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -110,6 +115,20 @@ func main() {
 	}
 	stop()    // no more signals needed; unblocks the goroutine on clean exit
 	<-drained // wait for in-flight responses before tearing down the manager
+}
+
+// newServer is the service's http.Server configuration. IdleTimeout
+// matters here: workers and pollers hold keep-alive connections, and
+// without it an idle connection pins its file descriptor until the peer
+// goes away — a slow leak under worker churn.
+func newServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:         addr,
+		Handler:      handler,
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 5 * time.Minute, // full-scale results take a while to render
+		IdleTimeout:  2 * time.Minute,
+	}
 }
 
 // buildQueryEngine loads the network at path and precomputes its arrival

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/obs"
@@ -24,6 +25,25 @@ func testMux(t *testing.T, pprofOn bool) http.Handler {
 	m := service.New(service.Options{Workers: 1})
 	t.Cleanup(m.Close)
 	return newMux(m, nil, pprofOn)
+}
+
+// TestServerTimeouts pins the http.Server hardening: without IdleTimeout
+// every keep-alive connection from pollers and sweep workers pins a file
+// descriptor forever once idle.
+func TestServerTimeouts(t *testing.T) {
+	srv := newServer(":0", http.NewServeMux())
+	if srv.ReadTimeout != 30*time.Second {
+		t.Errorf("ReadTimeout = %v, want 30s", srv.ReadTimeout)
+	}
+	if srv.WriteTimeout != 5*time.Minute {
+		t.Errorf("WriteTimeout = %v, want 5m", srv.WriteTimeout)
+	}
+	if srv.IdleTimeout != 2*time.Minute {
+		t.Errorf("IdleTimeout = %v, want 2m", srv.IdleTimeout)
+	}
+	if srv.Addr != ":0" {
+		t.Errorf("Addr = %q", srv.Addr)
+	}
 }
 
 // TestMetricsEndpoint asserts GET /metrics serves parseable Prometheus
@@ -50,6 +70,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		"sweep_batch_size_count",
 		"service_jobs_submitted_total",
 		"service_queue_depth",
+		"sweep_lease_granted_total",
+		"sweep_lease_expired_total",
+		"sweep_leases_active",
+		"sweep_duplicate_cells_total",
+		"service_sweep_ckpt_write_errors_total",
 	} {
 		if !strings.Contains(body, series) {
 			t.Errorf("exposition missing %q", series)

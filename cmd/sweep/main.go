@@ -150,16 +150,22 @@ func runGrid(ctx context.Context, c cfg, grid sweep.Grid, prec sweep.Precision,
 
 	var prior *sweep.Checkpoint
 	if c.resume != "" {
-		if f, err := os.Open(c.resume); err == nil {
-			prior, err = sweep.DecodeCheckpoint(f)
-			f.Close()
-			if err != nil {
-				return err
+		var err error
+		prior, err = sweep.ReadCheckpointFile(c.resume)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			prior = nil // fresh run; the file appears after the first cell
+		case err != nil:
+			return err
+		default:
+			// Validate before running anything: a checkpoint from a
+			// different spec or a reshaped grid must fail here with a clear
+			// message, not poison cells or panic mid-run.
+			if err := prior.Validate(s.SpecKey(), grid); err != nil {
+				return fmt.Errorf("-resume %s: %w", c.resume, err)
 			}
 			fmt.Fprintf(os.Stderr, "sweep: resuming %d/%d cells from %s\n",
 				len(prior.Cells), grid.Size(), c.resume)
-		} else if !errors.Is(err, os.ErrNotExist) {
-			return err
 		}
 	}
 
@@ -174,7 +180,7 @@ func runGrid(ctx context.Context, c cfg, grid sweep.Grid, prec sweep.Precision,
 		fmt.Fprintf(os.Stderr, "sweep: cell %d/%d done (%d trials, ±%.4g)\n",
 			len(acc.Cells), grid.Size(), cell.Est.N, cell.Est.Half)
 		if c.resume != "" {
-			if err := saveCheckpoint(c.resume, acc); err != nil {
+			if err := acc.WriteFile(c.resume); err != nil {
 				fmt.Fprintf(os.Stderr, "sweep: checkpoint save failed: %v\n", err)
 			}
 		}
@@ -182,7 +188,7 @@ func runGrid(ctx context.Context, c cfg, grid sweep.Grid, prec sweep.Precision,
 
 	cp, runErr := s.Run(ctx, prior, nil)
 	if cp != nil && c.resume != "" {
-		if err := saveCheckpoint(c.resume, cp); err != nil {
+		if err := cp.WriteFile(c.resume); err != nil {
 			return err
 		}
 	}
@@ -426,24 +432,4 @@ func parseRange(s string) (lo, hi float64, err error) {
 		return 0, 0, err
 	}
 	return lo, hi, nil
-}
-
-// saveCheckpoint writes atomically via temp-file rename, so an interrupt
-// mid-write cannot corrupt the resume state.
-func saveCheckpoint(path string, cp *sweep.Checkpoint) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := cp.Encode(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
 }

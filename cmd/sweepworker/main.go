@@ -1,0 +1,342 @@
+// Command sweepworker is the pull side of distributed sweep execution: it
+// leases grid cells from a coordinator (cmd/serve with a sweep submitted
+// as "distributed": true), runs each cell through the exact engine a
+// single-node sweep uses, and reports the results back.
+//
+//	sweepworker -coordinator http://host:8080 -sweep j3 [-worker name]
+//
+// Workers need no out-of-band configuration: the lease response carries
+// the full sweep request, and the worker recomputes the sweep's spec
+// fingerprint locally, refusing to run if it disagrees with the
+// coordinator's (version skew). Because every cell is a pure function of
+// (spec, cell seed), any number of workers — joining, dying, duplicating
+// work — produce a coordinator checkpoint bit-identical to a single-node
+// run.
+//
+// Fault model: transport errors and 5xx responses are retried with
+// exponential backoff; a lost worker's leases expire at the coordinator
+// and its cells are re-leased; a duplicate completion (the worker was
+// slow, not dead) is acknowledged as "duplicate" and is harmless. The
+// worker exits 0 when the sweep reaches a terminal state.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweepworker: ")
+
+	var w worker
+	flag.StringVar(&w.base, "coordinator", "http://localhost:8080", "coordinator base URL (cmd/serve)")
+	flag.StringVar(&w.sweepID, "sweep", "", "sweep job id to work on (required)")
+	flag.StringVar(&w.name, "worker", "", "worker name (default host-pid)")
+	flag.IntVar(&w.maxCells, "max-cells", 1, "cells to lease per request")
+	flag.IntVar(&w.trialWorkers, "trial-workers", 0, "trial parallelism per cell (0 = GOMAXPROCS; never changes results)")
+	flag.DurationVar(&w.poll, "poll", 500*time.Millisecond, "poll interval when no cells are available, and base retry backoff")
+	flag.DurationVar(&w.cellDelay, "cell-delay", 0, "testing: sleep this long after computing each cell before reporting it")
+	verbose := flag.Bool("v", false, "log each lease and completion")
+	flag.Parse()
+
+	if w.sweepID == "" {
+		log.Fatal("-sweep is required")
+	}
+	if w.name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		w.name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w.client = &http.Client{Timeout: 30 * time.Second}
+	if *verbose {
+		w.logf = log.Printf
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := w.run(ctx); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// worker is one lease-pulling execution loop. All fields are set before
+// run; the sweep engine configuration (src, kind, prec) is built from the
+// first lease response and the spec fingerprint is re-verified on every
+// response after that.
+type worker struct {
+	base         string
+	sweepID      string
+	name         string
+	maxCells     int
+	trialWorkers int
+	poll         time.Duration
+	cellDelay    time.Duration
+	client       *http.Client
+	logf         func(string, ...any) // nil = quiet
+
+	// afterCell, when non-nil, runs after each completed-cell report —
+	// a test hook for simulating a worker dying mid-run.
+	afterCell func(index int)
+
+	src  sweep.CellSource
+	kind sweep.Kind
+	prec sweep.Precision
+	spec string
+}
+
+// errSweepOver signals a clean stop: the sweep reached a terminal state
+// (done or cancelled) while we were working.
+var errSweepOver = errors.New("sweep reached a terminal state")
+
+func (w *worker) debugf(format string, args ...any) {
+	if w.logf != nil {
+		w.logf(format, args...)
+	}
+}
+
+// run pulls leases until the sweep is terminal or ctx is cancelled.
+func (w *worker) run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var resp service.LeaseResponse
+		err := w.post(ctx, "/lease", service.LeaseRequest{Worker: w.name, Max: w.maxCells}, &resp)
+		if err != nil {
+			return fmt.Errorf("lease: %w", err)
+		}
+		if resp.State.Terminal() {
+			w.debugf("sweep %s is %s (%d/%d cells); exiting", w.sweepID, resp.State, resp.CellsDone, resp.CellsTotal)
+			return nil
+		}
+		if err := w.prepare(&resp); err != nil {
+			return err
+		}
+		if len(resp.Leases) == 0 {
+			// Every remaining cell is leased elsewhere; wait for progress
+			// (or a straggler expiry) and ask again.
+			if err := sleepCtx(ctx, w.poll); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := w.runLeases(ctx, &resp); err != nil {
+			if errors.Is(err, errSweepOver) {
+				w.debugf("sweep %s finished elsewhere; exiting", w.sweepID)
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// prepare builds the cell execution engine from the coordinator's sweep
+// request and verifies the spec fingerprint — a worker from a different
+// build would silently compute different bits, so fingerprint skew is
+// fatal, never retried.
+func (w *worker) prepare(resp *service.LeaseResponse) error {
+	if resp.Request == nil {
+		return fmt.Errorf("coordinator sent no sweep request for %s", w.sweepID)
+	}
+	req := resp.Request.Canonical()
+	if got := req.Spec().SpecKey(); got != resp.Spec {
+		return fmt.Errorf("spec fingerprint mismatch (version skew?):\n  coordinator: %s\n  local:       %s", resp.Spec, got)
+	}
+	if w.src != nil {
+		return nil // engine already built; fingerprint re-verified above
+	}
+	src, err := req.Target().Source()
+	if err != nil {
+		return err
+	}
+	w.src = src
+	w.kind = req.Target().Kind()
+	w.prec = req.Precision
+	w.spec = resp.Spec
+	return nil
+}
+
+// runLeases executes one granted batch, heartbeating the whole time so
+// slow cells are not re-leased out from under us.
+func (w *worker) runLeases(ctx context.Context, resp *service.LeaseResponse) error {
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	ttl := time.Duration(resp.Leases[0].TTLMS) * time.Millisecond
+	go w.heartbeatLoop(hbCtx, stopHB, ttl)
+
+	for _, l := range resp.Leases {
+		if err := hbCtx.Err(); err != nil {
+			if ctx.Err() == nil {
+				return errSweepOver // heartbeat saw a terminal state
+			}
+			return err
+		}
+		if err := w.runCell(hbCtx, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runCell computes one cell exactly as Sweep.Run would — same Adaptive
+// configuration, same batched source, same per-cell seed — and reports it.
+func (w *worker) runCell(ctx context.Context, l service.CellLease) error {
+	w.debugf("cell %d (lease %d): %v", l.Index, l.LeaseID, l.Values)
+	a := sweep.Adaptive{Seed: l.Seed, Workers: w.trialWorkers, Kind: w.kind, Prec: w.prec}
+	est, err := a.EstimateSource(ctx, w.src(l.Values, l.Seed, w.trialWorkers, nil))
+	if err != nil {
+		return fmt.Errorf("cell %d: %w", l.Index, err)
+	}
+	if w.cellDelay > 0 {
+		// Failure-injection window: a test or smoke script kills the
+		// process here to leave a computed-but-unreported cell behind an
+		// unexpired lease.
+		if err := sleepCtx(ctx, w.cellDelay); err != nil {
+			return err
+		}
+	}
+	var cr service.CompleteResponse
+	err = w.post(ctx, "/cells", service.CompleteRequest{
+		Worker: w.name, LeaseID: l.LeaseID,
+		Cell: sweep.Cell{Index: l.Index, Values: l.Values, Est: est},
+	}, &cr)
+	if err != nil {
+		var ae *apiError
+		if errors.As(err, &ae) && ae.code == http.StatusConflict {
+			// The board closed (cancel) or finished under us.
+			return errSweepOver
+		}
+		return fmt.Errorf("report cell %d: %w", l.Index, err)
+	}
+	w.debugf("cell %d %s (%d cells done, sweep done=%v)", l.Index, cr.Status, cr.CellsDone, cr.Done)
+	if w.afterCell != nil {
+		w.afterCell(l.Index)
+	}
+	return nil
+}
+
+// heartbeatLoop extends this worker's leases at TTL/3 until ctx ends,
+// cancelling the batch if the sweep goes terminal (e.g. cancelled).
+func (w *worker) heartbeatLoop(ctx context.Context, cancel context.CancelFunc, ttl time.Duration) {
+	interval := ttl / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			var hb service.HeartbeatResponse
+			if err := w.post(ctx, "/heartbeat", service.HeartbeatRequest{Worker: w.name}, &hb); err == nil && hb.State.Terminal() {
+				cancel()
+				return
+			}
+		}
+	}
+}
+
+// apiError is a non-retryable coordinator rejection (4xx).
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return fmt.Sprintf("coordinator: %d %s", e.code, e.msg) }
+
+// post sends one JSON request to the sweep's sub-path, retrying transport
+// errors and 5xx with exponential backoff. 4xx returns *apiError
+// immediately — those are protocol outcomes, not transients.
+func (w *worker) post(ctx context.Context, sub string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	url := w.base + "/sweeps/" + w.sweepID + sub
+	backoff := w.poll
+	if backoff <= 0 {
+		backoff = 500 * time.Millisecond
+	}
+	var last error
+	for attempt := 0; attempt < 6; attempt++ {
+		if attempt > 0 {
+			w.debugf("retrying %s after %v: %v", sub, backoff, last)
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return err
+			}
+			if backoff *= 2; backoff > 5*time.Second {
+				backoff = 5 * time.Second
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := w.client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			last = err
+			continue
+		}
+		rb, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			last = err
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			last = fmt.Errorf("coordinator: %d %s", resp.StatusCode, errBody(rb))
+			continue
+		}
+		if resp.StatusCode >= 400 {
+			return &apiError{code: resp.StatusCode, msg: errBody(rb)}
+		}
+		return json.Unmarshal(rb, out)
+	}
+	return fmt.Errorf("giving up on %s: %w", sub, last)
+}
+
+// errBody extracts the handler's {"error": "..."} message, falling back to
+// the raw body.
+func errBody(b []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(b))
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

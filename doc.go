@@ -55,15 +55,23 @@
 //	internal/service     experiment service: job manager over a bounded
 //	                     worker pool, LRU result cache keyed by the
 //	                     canonical request (experiment Config or sweep
-//	                     spec), JSON HTTP API
+//	                     spec), JSON HTTP API, and the distributed-sweep
+//	                     coordinator (cell lease endpoints over
+//	                     internal/shard, durable checkpoints)
+//	internal/shard       cell lease table for distributed sweeps: bounded
+//	                     TTL leases, heartbeats, straggler re-lease, and
+//	                     first-wins duplicate resolution asserted
+//	                     bit-identical
 //	internal/obs         zero-dependency observability: atomic counters and
 //	                     gauges, sharded lock-free histograms, Prometheus
 //	                     text exposition, and monotonic-clock spans in an
 //	                     in-memory ring — 0 allocs/op on the record path
 //	cmd/...              command-line tools; cmd/serve runs the HTTP
 //	                     service (plus /metrics, /debug/trace and optional
-//	                     pprof); cmd/sweep runs adaptive sweeps and
-//	                     threshold searches; examples/... runnable examples
+//	                     pprof) and coordinates distributed sweeps;
+//	                     cmd/sweep runs adaptive sweeps and threshold
+//	                     searches; cmd/sweepworker pulls distributed-sweep
+//	                     cell leases; examples/... runnable examples
 //
 // The experiment service (internal/service + cmd/serve) turns the one-shot
 // drivers into a long-running system: jobs are submitted, tracked and

@@ -1,0 +1,237 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/sweep"
+)
+
+// Distributed sweep coordination: a sweep submitted with
+// "distributed": true is not run on the local worker pool. Instead the
+// manager opens a shard.Board over its grid and remote workers
+// (cmd/sweepworker) pull cell leases, run them through the same batched
+// engine a local sweep uses, and report results back. Because every cell
+// is a pure function of (spec, CellSeed), the folded checkpoint — and
+// therefore the cached payload — is bit-identical to a single-node run;
+// the coordinator's only real jobs are straggler re-lease and duplicate
+// assertion (see internal/shard).
+
+// ErrNotDistributed rejects lease-protocol calls against a sweep that
+// runs on the local pool (or an experiment job).
+var ErrNotDistributed = errors.New("service: sweep is not distributed")
+
+var obsCkptWriteErrors = obs.NewCounter("service_sweep_ckpt_write_errors_total",
+	"Distributed-sweep checkpoint persistence failures (results stay in memory; durability degraded).")
+
+// LeaseRequest is the body of POST /sweeps/{id}/lease.
+type LeaseRequest struct {
+	// Worker names the requesting worker; required, and the identity
+	// heartbeats must use.
+	Worker string `json:"worker"`
+	// Max bounds how many cells to grant; 0 means 1.
+	Max int `json:"max,omitempty"`
+}
+
+// CellLease is one granted cell: everything a worker needs to run it
+// exactly as a single-node sweep would.
+type CellLease struct {
+	LeaseID int64 `json:"lease_id"`
+	// Index is the cell's position in the grid's mixed-radix order.
+	Index int `json:"index"`
+	// Values is the cell's axis assignment (grid.Values(Index)).
+	Values map[string]float64 `json:"values"`
+	// Seed is sweep.CellSeed(sweep seed, Index) — the cell's base seed.
+	Seed uint64 `json:"seed"`
+	// TTLMS is the lease lifetime in milliseconds; heartbeat well within
+	// it.
+	TTLMS int64 `json:"ttl_ms"`
+}
+
+// LeaseResponse answers a lease request. A terminal State with no leases
+// tells the worker to stop; an empty grant on a running sweep means
+// every remaining cell is leased elsewhere — back off and retry.
+type LeaseResponse struct {
+	SweepID string `json:"sweep_id"`
+	State   State  `json:"state"`
+	// Spec is the sweep's fingerprint; workers recompute it from Request
+	// and refuse to run on mismatch (version skew).
+	Spec string `json:"spec"`
+	// Request is the full sweep request, so a worker needs no
+	// out-of-band configuration.
+	Request    *SweepRequest `json:"request,omitempty"`
+	CellsDone  int           `json:"cells_done"`
+	CellsTotal int           `json:"cells_total"`
+	Leases     []CellLease   `json:"leases,omitempty"`
+}
+
+// CompleteRequest is the body of POST /sweeps/{id}/cells.
+type CompleteRequest struct {
+	Worker  string     `json:"worker"`
+	LeaseID int64      `json:"lease_id"`
+	Cell    sweep.Cell `json:"cell"`
+}
+
+// CompleteResponse reports how the result resolved: "accepted" (first
+// completion for the cell) or "duplicate" (already done; asserted
+// bit-identical).
+type CompleteResponse struct {
+	Status    string `json:"status"`
+	CellsDone int    `json:"cells_done"`
+	Done      bool   `json:"done"`
+}
+
+// HeartbeatRequest is the body of POST /sweeps/{id}/heartbeat.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+}
+
+// HeartbeatResponse reports how many leases were extended; State lets a
+// worker notice cancellation without a lease round-trip.
+type HeartbeatResponse struct {
+	Extended int   `json:"extended"`
+	State    State `json:"state"`
+}
+
+// distJob resolves id to a distributed sweep job.
+func (m *Manager) distJob(id string) (*Job, error) {
+	job, ok := m.Get(id)
+	if !ok || !job.IsSweep() {
+		return nil, fmt.Errorf("no such sweep %q", id)
+	}
+	if job.board == nil {
+		return nil, ErrNotDistributed
+	}
+	return job, nil
+}
+
+// LeaseCells grants up to max cells of sweep id to worker. On a terminal
+// sweep it returns the state with no leases.
+func (m *Manager) LeaseCells(id, worker string, max int) (*LeaseResponse, error) {
+	if worker == "" {
+		return nil, errors.New("worker name required")
+	}
+	job, err := m.distJob(id)
+	if errors.Is(err, ErrNotDistributed) {
+		// A distributed submit that hit the result cache settles done
+		// without ever opening a board; tell the polling worker to stop
+		// instead of erroring at it.
+		if job, ok := m.Get(id); ok && job.IsSweep() && job.State().Terminal() {
+			return &LeaseResponse{
+				SweepID: job.id, State: job.State(), Request: job.sweepReq,
+				CellsDone: int(job.cells.Load()), CellsTotal: job.cellsTotal,
+			}, nil
+		}
+		return nil, err
+	}
+	if err != nil {
+		return nil, err
+	}
+	req := job.sweepReq
+	resp := &LeaseResponse{
+		SweepID:    job.id,
+		State:      job.State(),
+		Spec:       job.board.Spec(),
+		Request:    req,
+		CellsDone:  job.board.CellsDone(),
+		CellsTotal: job.cellsTotal,
+	}
+	if resp.State.Terminal() {
+		return resp, nil
+	}
+	leases, err := job.board.Lease(worker, max, m.now())
+	if err != nil {
+		if errors.Is(err, shard.ErrClosed) {
+			resp.State = job.State()
+			return resp, nil
+		}
+		return nil, err
+	}
+	grid := sweep.Grid{Axes: req.Grid}
+	ttl := job.board.TTL().Milliseconds()
+	for _, l := range leases {
+		resp.Leases = append(resp.Leases, CellLease{
+			LeaseID: l.ID,
+			Index:   l.Index,
+			Values:  grid.Values(l.Index),
+			Seed:    sweep.CellSeed(req.Seed, l.Index),
+			TTLMS:   ttl,
+		})
+	}
+	return resp, nil
+}
+
+// HeartbeatWorker extends every live lease the worker holds on sweep id.
+func (m *Manager) HeartbeatWorker(id, worker string) (*HeartbeatResponse, error) {
+	if worker == "" {
+		return nil, errors.New("worker name required")
+	}
+	job, err := m.distJob(id)
+	if err != nil {
+		return nil, err
+	}
+	n, err := job.board.Heartbeat(worker, m.now())
+	if err != nil && !errors.Is(err, shard.ErrClosed) {
+		return nil, err
+	}
+	return &HeartbeatResponse{Extended: n, State: job.State()}, nil
+}
+
+// CompleteCell folds one worker-computed cell into sweep id. The first
+// completed result for a cell wins; duplicates are asserted bit-identical
+// (shard.ErrMismatch otherwise). When the last cell lands the job settles
+// done, the payload enters the result cache under the same key a local
+// run would use, and — when the manager persists checkpoints — the final
+// checkpoint hits disk through the synced writer.
+func (m *Manager) CompleteCell(id string, leaseID int64, cell sweep.Cell) (*CompleteResponse, error) {
+	job, err := m.distJob(id)
+	if err != nil {
+		return nil, err
+	}
+	status, err := job.board.Complete(leaseID, cell, m.now())
+	if err != nil {
+		return nil, err
+	}
+	if status == shard.Accepted {
+		job.cells.Store(int64(job.board.CellsDone()))
+		job.trials.Add(int64(cell.Est.N))
+		m.persistCheckpoint(job)
+		if job.board.Done() {
+			payload := sweepPayload(*job.sweepReq, job.board.Checkpoint())
+			m.cache.Put(job.sweepReq.Key(), payload)
+			m.settle(job, StateDone, payload, "")
+		}
+	}
+	return &CompleteResponse{
+		Status:    string(status),
+		CellsDone: job.board.CellsDone(),
+		Done:      job.board.Done(),
+	}, nil
+}
+
+// persistCheckpoint writes the job's current checkpoint durably (synced
+// temp-file rename, shared with cmd/sweep) when the manager is configured
+// with a checkpoint directory. Persistence failures never fail the
+// worker's report — the result is already safe in memory — but they are
+// counted, because silent durability loss is how "atomic" checkpoints
+// rot.
+func (m *Manager) persistCheckpoint(job *Job) {
+	dir := m.opts.CheckpointDir
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, job.id+".ckpt.json")
+	if err := job.board.Checkpoint().WriteFile(path); err != nil {
+		obsCkptWriteErrors.Inc()
+	}
+}
+
+// DefaultLeaseTTL bounds how long a worker may hold a cell without
+// heartbeating before the cell is re-leased. Long enough that a loaded
+// worker's heartbeat loop (TTL/3) never races it, short enough that a
+// dead worker stalls a sweep by seconds, not minutes.
+const DefaultLeaseTTL = 30 * time.Second

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/shard"
 )
 
 // State is a job's lifecycle position. Transitions are monotone:
@@ -35,6 +37,13 @@ type Job struct {
 	sweepReq   *SweepRequest // nil for experiment jobs
 	cells      atomic.Int64  // completed sweep cells, updated live
 	cellsTotal int
+
+	// board is the cell lease table of a distributed sweep (nil for local
+	// sweeps and experiment jobs); nowFn is the manager's clock, captured
+	// so View can snapshot lease state without reaching back into the
+	// manager.
+	board *shard.Board
+	nowFn func() time.Time
 
 	trials atomic.Int64 // completed Monte-Carlo trials, updated live
 	ctx    context.Context
@@ -87,9 +96,12 @@ type View struct {
 	// CellsDone is a pointer so a sweep that has not finished its first
 	// cell still serializes "cells_done":0 alongside cells_total, while
 	// experiment jobs omit both fields entirely.
-	Sweep       *SweepRequest `json:"sweep,omitempty"`
-	CellsDone   *int64        `json:"cells_done,omitempty"`
-	CellsTotal  int           `json:"cells_total,omitempty"`
+	Sweep      *SweepRequest `json:"sweep,omitempty"`
+	CellsDone  *int64        `json:"cells_done,omitempty"`
+	CellsTotal int           `json:"cells_total,omitempty"`
+	// Shard reports lease-table state for distributed sweeps: cells
+	// pending/leased/done, live workers, straggler re-leases, duplicates.
+	Shard       *shard.Status `json:"shard,omitempty"`
 	State       State         `json:"state"`
 	Trials      int64         `json:"trials_completed"`
 	FromCache   bool          `json:"from_cache"`
@@ -124,6 +136,10 @@ func (j *Job) View() View {
 		cells := j.cells.Load()
 		v.CellsDone = &cells
 		v.CellsTotal = j.cellsTotal
+	}
+	if j.board != nil {
+		st := j.board.Status(j.nowFn())
+		v.Shard = &st
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -34,6 +34,14 @@ type Options struct {
 	// oldest terminal job so a long-running service cannot accumulate
 	// payloads without bound. Queued and running jobs are never evicted.
 	MaxHistory int
+	// LeaseTTL bounds how long a distributed-sweep worker may hold a cell
+	// lease without heartbeating before the cell is re-leased; 0 means
+	// DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// CheckpointDir, when non-empty, makes the coordinator persist every
+	// distributed sweep's checkpoint to <dir>/<jobid>.ckpt.json after each
+	// accepted cell, via the synced atomic writer shared with cmd/sweep.
+	CheckpointDir string
 	// Lookup resolves experiment ids; nil means experiments.ByID. Tests
 	// inject stub registries here.
 	Lookup func(id string) (experiments.Experiment, bool)
@@ -58,6 +66,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxHistory <= 0 {
 		o.MaxHistory = 1024
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = DefaultLeaseTTL
 	}
 	if o.Lookup == nil {
 		o.Lookup = experiments.ByID
@@ -245,6 +256,12 @@ func (m *Manager) Cancel(id string) error {
 	}
 	if job.cancel != nil {
 		job.cancel()
+	}
+	if job.board != nil {
+		// Distributed sweeps have no pool worker watching a context: close
+		// the lease table so workers get turned away, and settle directly.
+		job.board.Close()
+		m.settle(job, StateCancelled, nil, "")
 	}
 	return nil
 }

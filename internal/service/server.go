@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 
 	"repro/internal/avail"
+	"repro/internal/shard"
 )
 
 // ExperimentInfo is the registry metadata served by GET /experiments.
@@ -34,6 +36,10 @@ type ExperimentInfo struct {
 //	GET    /sweeps                     sweep jobs in submission order
 //	GET    /sweeps/{id}                sweep status with per-cell + per-trial progress
 //	GET    /sweeps/{id}/result?format=F  completed sweep result
+//	POST   /sweeps/{id}/lease          distributed sweeps: pull cell leases (LeaseRequest)
+//	POST   /sweeps/{id}/cells          distributed sweeps: report a completed cell
+//	POST   /sweeps/{id}/heartbeat      distributed sweeps: extend a worker's leases
+//	GET    /sweeps/{id}/checkpoint     distributed sweeps: current checkpoint (partial mid-run)
 //
 // Sweep jobs share the job id space, the worker pool and the result
 // cache with experiment jobs, so /jobs/{id} and cancel work on them too;
@@ -214,6 +220,74 @@ func NewHandlerWith(m *Manager, qe *QueryEngine) http.Handler {
 		if job, ok := getSweep(w, r); ok {
 			serveResult(w, r, job)
 		}
+	})
+
+	// Distributed-sweep lease protocol (see dist.go and cmd/sweepworker):
+	// workers pull cell leases, heartbeat while a cell runs, and report
+	// completed cells; the checkpoint endpoint serves the coordinator's
+	// current durable progress (partial mid-run, complete when done),
+	// bit-identical to a single-node run's checkpoint file.
+	distErr := func(w http.ResponseWriter, err error) {
+		status := http.StatusBadRequest
+		switch {
+		case strings.Contains(err.Error(), "no such sweep"):
+			status = http.StatusNotFound
+		case errors.Is(err, ErrNotDistributed), errors.Is(err, shard.ErrClosed), errors.Is(err, shard.ErrMismatch):
+			status = http.StatusConflict
+		case errors.Is(err, shard.ErrBadCell):
+			status = http.StatusUnprocessableEntity
+		}
+		writeErr(w, status, "%v", err)
+	}
+
+	mux.HandleFunc("POST /sweeps/{id}/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !decodeBody(w, r, DefaultMaxBodySize, &req) {
+			return
+		}
+		resp, err := m.LeaseCells(r.PathValue("id"), req.Worker, req.Max)
+		if err != nil {
+			distErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /sweeps/{id}/cells", func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if !decodeBody(w, r, DefaultMaxBodySize, &req) {
+			return
+		}
+		resp, err := m.CompleteCell(r.PathValue("id"), req.LeaseID, req.Cell)
+		if err != nil {
+			distErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /sweeps/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !decodeBody(w, r, DefaultMaxBodySize, &req) {
+			return
+		}
+		resp, err := m.HeartbeatWorker(r.PathValue("id"), req.Worker)
+		if err != nil {
+			distErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /sweeps/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		job, err := m.distJob(r.PathValue("id"))
+		if err != nil {
+			distErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		job.board.Checkpoint().Encode(w)
 	})
 
 	cancel := func(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/shard"
 	"repro/internal/sweep"
 	"repro/internal/table"
 )
@@ -38,6 +39,12 @@ type SweepRequest struct {
 	// Precision is the per-cell stopping rule; the zero value selects the
 	// defaults (95% confidence, ±0.05, ≤4096 trials).
 	Precision sweep.Precision `json:"precision"`
+	// Distributed makes the sweep a coordinator job: instead of running on
+	// the local pool, its cells are leased to remote workers
+	// (cmd/sweepworker) over POST /sweeps/{id}/lease. Determinism makes
+	// the result — and therefore the cache key — identical either way, so
+	// Distributed is deliberately absent from Key.
+	Distributed bool `json:"distributed,omitempty"`
 }
 
 // Canonical returns the request with names trimmed, lower-cased and
@@ -58,19 +65,23 @@ func (r SweepRequest) Canonical() SweepRequest {
 	return r
 }
 
-// target is the experiments-side view of the request.
-func (r SweepRequest) target() experiments.SweepTarget {
+// Target is the experiments-side view of the request — exported because
+// cmd/sweepworker rebuilds the exact per-cell execution a local sweep
+// would run from the request the coordinator hands it.
+func (r SweepRequest) Target() experiments.SweepTarget {
 	return experiments.SweepTarget{
 		Model: r.Model, MP: r.MP, Graph: r.Graph,
 		Lifetime: r.Lifetime, Metric: r.Metric,
 	}
 }
 
-// spec is the sweep engine configuration the request denotes.
-func (r SweepRequest) spec() sweep.Sweep {
+// Spec is the sweep engine configuration the request denotes. Workers
+// recompute Spec().SpecKey() locally and refuse leases whose fingerprint
+// differs — the version-skew guard.
+func (r SweepRequest) Spec() sweep.Sweep {
 	return sweep.Sweep{
 		Grid: sweep.Grid{Axes: r.Grid},
-		Kind: r.target().Kind(),
+		Kind: r.Target().Kind(),
 		Prec: r.Precision,
 		Seed: r.Seed,
 	}
@@ -83,7 +94,7 @@ func (r SweepRequest) Key() string {
 	c := r.Canonical()
 	key := fmt.Sprintf("SWEEP|model=%s|graph=%s|lifetime=%d|metric=%s",
 		c.Model, c.Graph, c.Lifetime, c.Metric)
-	return key + mpKey(c.MP) + "|" + c.spec().SpecKey()
+	return key + mpKey(c.MP) + "|" + c.Spec().SpecKey()
 }
 
 // Server-side resource policy for POST /sweeps: one request may not
@@ -106,7 +117,7 @@ func (r SweepRequest) validate() error {
 		return fmt.Errorf("sweep needs at least one grid axis")
 	}
 	grid := sweep.Grid{Axes: r.Grid}
-	if err := r.target().Validate(grid); err != nil {
+	if err := r.Target().Validate(grid); err != nil {
 		return err
 	}
 	if size := grid.Size(); size > maxSweepCells {
@@ -166,6 +177,19 @@ func (m *Manager) SubmitSweep(req SweepRequest) (*Job, error) {
 		return job, nil
 	}
 
+	if req.Distributed {
+		// Coordinator mode: no pool worker runs this job. It goes straight
+		// to running with an open lease table; remote workers pull cells
+		// and the job settles when the last result lands (CompleteCell) or
+		// on Cancel.
+		job.state = StateRunning
+		job.started = m.now()
+		job.board = shard.New(req.Spec().SpecKey(), job.cellsTotal, m.opts.LeaseTTL)
+		job.nowFn = m.now
+		m.register(job)
+		return job, nil
+	}
+
 	job.ctx, job.cancel = context.WithCancel(m.baseCtx)
 	select {
 	case m.queue <- job:
@@ -212,11 +236,11 @@ func runSweep(ctx context.Context, job *Job) (p *Payload, err error) {
 	// in place per trial. Source factories fall back to the per-trial
 	// rebuild for randomized substrates, and either path is bit-identical
 	// per cell, so cached results never depend on which one ran.
-	src, err := req.target().Source()
+	src, err := req.Target().Source()
 	if err != nil {
 		return nil, err
 	}
-	s := req.spec()
+	s := req.Spec()
 	s.OnTrial = func() { job.trials.Add(1) }
 	s.OnCell = func(sweep.Cell) { job.cells.Add(1) }
 	s.Source = src

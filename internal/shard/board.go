@@ -1,0 +1,334 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// Typed errors the service layer maps onto HTTP statuses.
+var (
+	// ErrClosed rejects operations on a board whose sweep was cancelled.
+	ErrClosed = errors.New("shard: board closed")
+	// ErrBadCell rejects a completion whose cell index does not fit the
+	// grid — a worker running a different (larger or reshaped) grid
+	// version than the coordinator.
+	ErrBadCell = errors.New("shard: cell index outside grid")
+	// ErrMismatch rejects a duplicate completion whose result is not
+	// bit-identical to the accepted one. Cells are deterministic, so a
+	// mismatch means a version-skewed or misbehaving worker.
+	ErrMismatch = errors.New("shard: duplicate result differs from accepted result")
+)
+
+type cellPhase uint8
+
+const (
+	cellPending cellPhase = iota
+	cellLeased
+	cellDone
+)
+
+// cellState tracks one grid cell through pending → leased → done.
+type cellState struct {
+	phase   cellPhase
+	leaseID int64      // current lease while phase == cellLeased
+	result  sweep.Cell // accepted result once phase == cellDone
+	enc     []byte     // canonical JSON of result, for duplicate assertion
+}
+
+// lease is one outstanding grant.
+type lease struct {
+	id      int64
+	index   int
+	worker  string
+	expires time.Time
+}
+
+// Lease is the granted view handed back to the service layer.
+type Lease struct {
+	ID      int64
+	Index   int
+	Expires time.Time
+}
+
+// Status is a point-in-time summary of a board, shaped for JSON status
+// surfaces (GET /sweeps/{id}).
+type Status struct {
+	Total   int `json:"cells_total"`
+	Done    int `json:"cells_done"`
+	Leased  int `json:"cells_leased"`
+	Pending int `json:"cells_pending"`
+	// Workers counts distinct owners of live leases.
+	Workers int `json:"workers_active"`
+	// Expired counts straggler leases reclaimed over the board's lifetime.
+	Expired uint64 `json:"leases_expired"`
+	// Duplicates counts completions for already-done cells (asserted
+	// bit-identical, then dropped).
+	Duplicates uint64 `json:"duplicate_results"`
+}
+
+// Board is the lease table for one sweep grid. All methods are safe for
+// concurrent use; time is supplied by the caller so TTL behavior is
+// deterministic under test.
+type Board struct {
+	mu      sync.Mutex
+	spec    string
+	ttl     time.Duration
+	cells   []cellState
+	pending []int // FIFO of leasable cell indices
+	leases  map[int64]*lease
+	nextID  int64
+	done    int
+	expired uint64
+	dups    uint64
+	workers map[string]bool // workers ever seen, for join accounting
+	closed  bool
+}
+
+// New builds a board of size cells for the sweep with the given spec
+// fingerprint. Leases live for ttl unless extended by heartbeats; ttl
+// must be positive.
+func New(spec string, size int, ttl time.Duration) *Board {
+	if size < 0 {
+		panic("shard: negative board size")
+	}
+	if ttl <= 0 {
+		panic("shard: lease TTL must be positive")
+	}
+	b := &Board{
+		spec:    spec,
+		ttl:     ttl,
+		cells:   make([]cellState, size),
+		pending: make([]int, size),
+		leases:  make(map[int64]*lease),
+		workers: make(map[string]bool),
+	}
+	for i := range b.pending {
+		b.pending[i] = i
+	}
+	return b
+}
+
+// Spec returns the sweep spec fingerprint the board was built for.
+func (b *Board) Spec() string { return b.spec }
+
+// TTL returns the lease lifetime.
+func (b *Board) TTL() time.Duration { return b.ttl }
+
+// expire reclaims every lease whose deadline passed; callers hold b.mu.
+func (b *Board) expire(now time.Time) {
+	for id, l := range b.leases {
+		if now.Before(l.expires) {
+			continue
+		}
+		delete(b.leases, id)
+		obsLeasesActive.Add(-1)
+		c := &b.cells[l.index]
+		if c.phase == cellLeased && c.leaseID == id {
+			c.phase = cellPending
+			b.pending = append(b.pending, l.index)
+			b.expired++
+			obsLeaseExpired.Inc()
+		}
+	}
+}
+
+// Lease reclaims stragglers, then grants the worker up to max pending
+// cells. An empty grant with Done() false means every remaining cell is
+// leased elsewhere — the worker should back off and ask again.
+func (b *Board) Lease(worker string, max int, now time.Time) ([]Lease, error) {
+	if max < 1 {
+		max = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	b.expire(now)
+	if !b.workers[worker] {
+		b.workers[worker] = true
+		obsWorkersJoined.Inc()
+	}
+	var out []Lease
+	for len(out) < max && len(b.pending) > 0 {
+		idx := b.pending[0]
+		b.pending = b.pending[1:]
+		c := &b.cells[idx]
+		if c.phase != cellPending {
+			continue // completed by a straggler while queued; skip
+		}
+		b.nextID++
+		l := &lease{id: b.nextID, index: idx, worker: worker, expires: now.Add(b.ttl)}
+		b.leases[l.id] = l
+		c.phase = cellLeased
+		c.leaseID = l.id
+		out = append(out, Lease{ID: l.id, Index: idx, Expires: l.expires})
+		obsLeaseGranted.Inc()
+		obsLeasesActive.Add(1)
+	}
+	return out, nil
+}
+
+// Heartbeat extends every live lease the worker holds to now+TTL and
+// returns how many it extended. Zero with a nil error means the worker
+// holds nothing — its leases already expired or completed.
+func (b *Board) Heartbeat(worker string, now time.Time) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, ErrClosed
+	}
+	b.expire(now)
+	extended := 0
+	for _, l := range b.leases {
+		if l.worker == worker {
+			l.expires = now.Add(b.ttl)
+			extended++
+		}
+	}
+	obsHeartbeats.Inc()
+	return extended, nil
+}
+
+// CompleteStatus reports how a completion resolved.
+type CompleteStatus string
+
+const (
+	// Accepted: first completed result for the cell; it is now durable
+	// board state.
+	Accepted CompleteStatus = "accepted"
+	// Duplicate: the cell was already done and the new result matched the
+	// accepted one bit-for-bit, as determinism demands.
+	Duplicate CompleteStatus = "duplicate"
+)
+
+// Complete records a finished cell. First completed result wins; the
+// lease need not still be live (a straggler's late result is as good as
+// any — the cell is deterministic). Returns Duplicate when the cell was
+// already done and the results agree, ErrMismatch when they do not, and
+// ErrBadCell when the index does not fit the grid.
+func (b *Board) Complete(leaseID int64, cell sweep.Cell, now time.Time) (CompleteStatus, error) {
+	enc, err := json.Marshal(cell)
+	if err != nil {
+		return "", fmt.Errorf("shard: encoding cell %d: %w", cell.Index, err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return "", ErrClosed
+	}
+	b.expire(now)
+	if cell.Index < 0 || cell.Index >= len(b.cells) {
+		return "", fmt.Errorf("%w: cell %d, grid has %d cells (worker running a different grid version?)",
+			ErrBadCell, cell.Index, len(b.cells))
+	}
+	if l, ok := b.leases[leaseID]; ok {
+		delete(b.leases, leaseID)
+		obsLeasesActive.Add(-1)
+		c := &b.cells[l.index]
+		if c.phase == cellLeased && c.leaseID == leaseID {
+			c.phase = cellPending
+			if l.index != cell.Index {
+				// The worker reported a different cell than it leased;
+				// re-queue the leased one so it is not lost.
+				b.pending = append(b.pending, l.index)
+			}
+		}
+	}
+	c := &b.cells[cell.Index]
+	if c.phase == cellDone {
+		b.dups++
+		obsDuplicateCells.Inc()
+		if string(enc) != string(c.enc) {
+			obsResultMismatch.Inc()
+			return "", fmt.Errorf("%w: cell %d got %s, accepted %s", ErrMismatch, cell.Index, enc, c.enc)
+		}
+		return Duplicate, nil
+	}
+	c.phase = cellDone
+	c.result = cell
+	c.enc = enc
+	b.done++
+	obsCellsAccepted.Inc()
+	return Accepted, nil
+}
+
+// Done reports whether every cell has an accepted result.
+func (b *Board) Done() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.done == len(b.cells)
+}
+
+// CellsDone returns the number of accepted cells.
+func (b *Board) CellsDone() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.done
+}
+
+// Checkpoint folds the accepted cells into a sweep.Checkpoint, cells in
+// index order — the exact shape a single-node sweep.Sweep.Run produces,
+// and valid to resume from at any point.
+func (b *Board) Checkpoint() *sweep.Checkpoint {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cp := &sweep.Checkpoint{Spec: b.spec, Cells: make([]sweep.Cell, 0, b.done)}
+	for _, c := range b.cells {
+		if c.phase == cellDone {
+			cp.Cells = append(cp.Cells, c.result)
+		}
+	}
+	return cp
+}
+
+// Status snapshots the board after reclaiming stragglers.
+func (b *Board) Status(now time.Time) Status {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.closed {
+		b.expire(now)
+	}
+	owners := map[string]bool{}
+	for _, l := range b.leases {
+		owners[l.worker] = true
+	}
+	leased := 0
+	for i := range b.cells {
+		if b.cells[i].phase == cellLeased {
+			leased++
+		}
+	}
+	return Status{
+		Total:      len(b.cells),
+		Done:       b.done,
+		Leased:     leased,
+		Pending:    len(b.cells) - b.done - leased,
+		Workers:    len(owners),
+		Expired:    b.expired,
+		Duplicates: b.dups,
+	}
+}
+
+// Close rejects all further leases, heartbeats and completions — the
+// cancel path. Idempotent.
+func (b *Board) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	obsLeasesActive.Add(-int64(len(b.leases)))
+	for _, l := range b.leases {
+		if c := &b.cells[l.index]; c.phase == cellLeased {
+			c.phase = cellPending
+		}
+	}
+	b.leases = map[int64]*lease{}
+}

@@ -1,0 +1,258 @@
+package shard
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// clk is the deterministic test clock: every TTL path takes time from the
+// caller, so tests advance it explicitly.
+type clk struct{ t time.Time }
+
+func newClk() *clk { return &clk{t: time.Unix(1000, 0)} }
+
+func (c *clk) now() time.Time                    { return c.t }
+func (c *clk) advance(d time.Duration) time.Time { c.t = c.t.Add(d); return c.t }
+
+func mkCell(idx int, point float64) sweep.Cell {
+	return sweep.Cell{
+		Index:  idx,
+		Values: map[string]float64{"x": float64(idx)},
+		Est:    sweep.Estimate{Kind: sweep.Proportion, N: 100, Successes: int(point * 100), Point: point},
+	}
+}
+
+func TestLeaseGrantAndComplete(t *testing.T) {
+	c := newClk()
+	b := New("spec-a", 3, time.Minute)
+	leases, err := b.Lease("w1", 2, c.now())
+	if err != nil || len(leases) != 2 {
+		t.Fatalf("lease → %v, %v; want 2 leases", leases, err)
+	}
+	if leases[0].Index != 0 || leases[1].Index != 1 {
+		t.Fatalf("lease order %v, want cells 0,1 first", leases)
+	}
+	for _, l := range leases {
+		st, err := b.Complete(l.ID, mkCell(l.Index, 0.5), c.now())
+		if err != nil || st != Accepted {
+			t.Fatalf("complete %d → %v, %v", l.Index, st, err)
+		}
+	}
+	if b.Done() {
+		t.Fatal("board done with cell 2 still pending")
+	}
+	rest, _ := b.Lease("w2", 10, c.now())
+	if len(rest) != 1 || rest[0].Index != 2 {
+		t.Fatalf("remaining lease %v, want cell 2", rest)
+	}
+	if _, err := b.Complete(rest[0].ID, mkCell(2, 1), c.now()); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Done() || b.CellsDone() != 3 {
+		t.Fatalf("done=%v cells=%d, want all 3", b.Done(), b.CellsDone())
+	}
+	cp := b.Checkpoint()
+	if cp.Spec != "spec-a" || len(cp.Cells) != 3 {
+		t.Fatalf("checkpoint %q with %d cells", cp.Spec, len(cp.Cells))
+	}
+	for i, cell := range cp.Cells {
+		if cell.Index != i {
+			t.Fatalf("checkpoint cells out of order: %v", cp.Cells)
+		}
+	}
+}
+
+// TestExpiryReLease is the straggler path: a worker leases a cell, never
+// heartbeats, and after the TTL the cell is granted to the next asker.
+func TestExpiryReLease(t *testing.T) {
+	c := newClk()
+	b := New("s", 1, time.Minute)
+	before := obsLeaseExpired.Value()
+	l1, _ := b.Lease("w1", 1, c.now())
+	if len(l1) != 1 {
+		t.Fatal("no initial lease")
+	}
+	// Still within TTL: nothing to grant.
+	if again, _ := b.Lease("w2", 1, c.advance(30*time.Second)); len(again) != 0 {
+		t.Fatalf("cell double-leased before expiry: %v", again)
+	}
+	// Past TTL: the straggler's cell is reclaimed and re-leased.
+	l2, _ := b.Lease("w2", 1, c.advance(31*time.Second))
+	if len(l2) != 1 || l2[0].Index != 0 {
+		t.Fatalf("expired cell not re-leased: %v", l2)
+	}
+	if got := obsLeaseExpired.Value() - before; got != 1 {
+		t.Fatalf("sweep_lease_expired_total moved by %d, want 1", got)
+	}
+	if st := b.Status(c.now()); st.Expired != 1 || st.Leased != 1 {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+// TestHeartbeatKeepsLeaseAlive extends a lease past its original TTL.
+func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
+	c := newClk()
+	b := New("s", 1, time.Minute)
+	l1, _ := b.Lease("w1", 1, c.now())
+	c.advance(45 * time.Second)
+	if n, err := b.Heartbeat("w1", c.now()); err != nil || n != 1 {
+		t.Fatalf("heartbeat → %d, %v", n, err)
+	}
+	// 45s past the original deadline, but within the extended one.
+	if stolen, _ := b.Lease("w2", 1, c.advance(30*time.Second)); len(stolen) != 0 {
+		t.Fatalf("heartbeated lease stolen: %v", stolen)
+	}
+	if st, err := b.Complete(l1[0].ID, mkCell(0, 1), c.now()); err != nil || st != Accepted {
+		t.Fatalf("complete after heartbeat → %v, %v", st, err)
+	}
+	// Heartbeat from a worker holding nothing extends nothing, no error.
+	if n, err := b.Heartbeat("w1", c.now()); err != nil || n != 0 {
+		t.Fatalf("empty heartbeat → %d, %v", n, err)
+	}
+}
+
+// TestWorkerDeathMidCell: worker leases, dies silently; the re-leased
+// worker completes; the board is done and the late result from the dead
+// worker (delivered by a paused goroutine, say) resolves as a duplicate.
+func TestWorkerDeathMidCell(t *testing.T) {
+	c := newClk()
+	b := New("s", 2, time.Minute)
+	dupsBefore := obsDuplicateCells.Value()
+	dead, _ := b.Lease("w-dead", 1, c.now())
+	// w-dead never heartbeats. Its lease expires; w2 takes over everything.
+	c.advance(2 * time.Minute)
+	live, _ := b.Lease("w2", 2, c.now())
+	if len(live) != 2 {
+		t.Fatalf("survivor leased %d cells, want 2", len(live))
+	}
+	for _, l := range live {
+		if _, err := b.Complete(l.ID, mkCell(l.Index, 0.25), c.now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !b.Done() {
+		t.Fatal("board not done after survivor finished")
+	}
+	// The dead worker's result limps in with a long-expired lease id:
+	// bit-identical, so it's a counted duplicate, not an error.
+	st, err := b.Complete(dead[0].ID, mkCell(dead[0].Index, 0.25), c.now())
+	if err != nil || st != Duplicate {
+		t.Fatalf("late duplicate → %v, %v", st, err)
+	}
+	if got := obsDuplicateCells.Value() - dupsBefore; got != 1 {
+		t.Fatalf("sweep_duplicate_cells_total moved by %d, want 1", got)
+	}
+	if st := b.Status(c.now()); st.Duplicates != 1 || st.Done != 2 || st.Workers != 0 {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+// TestDuplicateMismatchRejected: a duplicate that is not bit-identical is
+// a version-skew error, never silently merged.
+func TestDuplicateMismatchRejected(t *testing.T) {
+	c := newClk()
+	b := New("s", 1, time.Minute)
+	l1, _ := b.Lease("w1", 1, c.now())
+	if _, err := b.Complete(l1[0].ID, mkCell(0, 0.5), c.now()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := b.Complete(l1[0].ID, mkCell(0, 0.75), c.now())
+	if !errors.Is(err, ErrMismatch) {
+		t.Fatalf("mismatched duplicate → %v, want ErrMismatch", err)
+	}
+}
+
+// TestCompleteOutOfRange: results from a worker on a larger or reshaped
+// grid must fail cleanly with ErrBadCell, not corrupt the board.
+func TestCompleteOutOfRange(t *testing.T) {
+	c := newClk()
+	b := New("s", 2, time.Minute)
+	for _, idx := range []int{-1, 2, 99} {
+		if _, err := b.Complete(0, mkCell(idx, 1), c.now()); !errors.Is(err, ErrBadCell) {
+			t.Fatalf("index %d → %v, want ErrBadCell", idx, err)
+		}
+	}
+	if b.CellsDone() != 0 {
+		t.Fatal("bad completion mutated the board")
+	}
+}
+
+// TestLateResultFirstWins: an expired lease's result arriving before the
+// re-leased holder finishes is accepted (first completed result wins),
+// and the re-leased holder's later result is the duplicate.
+func TestLateResultFirstWins(t *testing.T) {
+	c := newClk()
+	b := New("s", 1, time.Minute)
+	l1, _ := b.Lease("w1", 1, c.now())
+	c.advance(2 * time.Minute)
+	l2, _ := b.Lease("w2", 1, c.now())
+	if len(l2) != 1 {
+		t.Fatal("no re-lease after expiry")
+	}
+	if st, err := b.Complete(l1[0].ID, mkCell(0, 1), c.now()); err != nil || st != Accepted {
+		t.Fatalf("late first result → %v, %v", st, err)
+	}
+	if st, err := b.Complete(l2[0].ID, mkCell(0, 1), c.now()); err != nil || st != Duplicate {
+		t.Fatalf("re-leased holder's result → %v, %v", st, err)
+	}
+	if !b.Done() {
+		t.Fatal("board not done")
+	}
+}
+
+func TestCloseRejectsEverything(t *testing.T) {
+	c := newClk()
+	b := New("s", 2, time.Minute)
+	l1, _ := b.Lease("w1", 1, c.now())
+	b.Close()
+	b.Close() // idempotent
+	if _, err := b.Lease("w1", 1, c.now()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("lease after close → %v", err)
+	}
+	if _, err := b.Heartbeat("w1", c.now()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("heartbeat after close → %v", err)
+	}
+	if _, err := b.Complete(l1[0].ID, mkCell(0, 1), c.now()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("complete after close → %v", err)
+	}
+}
+
+// TestCheckpointResumable: a partial board's checkpoint must validate
+// against the sweep it came from — the mid-run durability contract.
+func TestCheckpointResumable(t *testing.T) {
+	c := newClk()
+	spec := "kind=proportion|conf=0.95|abs=0.05|rel=0|min=8|max=4096|batch=32|seed=1|grid=x=0,1,2"
+	b := New(spec, 3, time.Minute)
+	leases, _ := b.Lease("w1", 2, c.now())
+	for _, l := range leases {
+		if _, err := b.Complete(l.ID, mkCell(l.Index, 0), c.now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp := b.Checkpoint()
+	if len(cp.Cells) != 2 {
+		t.Fatalf("partial checkpoint has %d cells, want 2", len(cp.Cells))
+	}
+	grid := sweep.Grid{Axes: []sweep.Axis{{Name: "x", Values: []float64{0, 1, 2}}}}
+	if err := cp.Validate(spec, grid); err != nil {
+		t.Fatalf("partial checkpoint invalid: %v", err)
+	}
+}
+
+func TestWorkerChurnCounting(t *testing.T) {
+	c := newClk()
+	b := New("s", 4, time.Minute)
+	before := obsWorkersJoined.Value()
+	b.Lease("a", 1, c.now())
+	b.Lease("a", 1, c.now())
+	b.Lease("b", 1, c.now())
+	if got := obsWorkersJoined.Value() - before; got != 2 {
+		t.Fatalf("sweep_workers_joined_total moved by %d, want 2 (a once, b once)", got)
+	}
+	if st := b.Status(c.now()); st.Workers != 2 || st.Leased != 3 || st.Pending != 1 {
+		t.Fatalf("status %+v", st)
+	}
+}

@@ -1,0 +1,34 @@
+// Package shard is the coordinator side of distributed sweep execution:
+// a lease table over the cells of one parameter grid.
+//
+// The sweep engine (internal/sweep) makes grid cells embarrassingly
+// parallel and bit-deterministic — cell c of a sweep is a pure function
+// of (spec, CellSeed(seed, c)), never of worker count or scheduling. That
+// determinism is what makes distribution simple: the coordinator never
+// has to reconcile divergent results, only to hand out cell indices and
+// collect the unique answer for each. A Board tracks every cell of one
+// grid through pending → leased → done:
+//
+//   - Lease grants up to max pending cells to a worker, each under a
+//     bounded TTL. Workers extend their leases with Heartbeat while a
+//     cell runs.
+//   - A lease whose TTL passes without a heartbeat is a straggler: the
+//     cell returns to the pending queue and is re-leased to the next
+//     worker that asks. The dead worker's result, if it ever arrives, is
+//     still welcome — first completed result wins.
+//   - Complete is idempotent by construction: because cells are
+//     deterministic, a duplicate completion (straggler re-lease racing
+//     the original holder) must be bit-identical to the accepted result.
+//     Duplicates are asserted equal — counted, never merged — and a
+//     mismatch is an error (version-skewed worker), not a shrug.
+//
+// The Board is index-based on purpose: it knows cell indices, lease
+// owners and deadlines, but not models, grids or seeds. The service layer
+// (internal/service) composes it with the sweep spec to build lease
+// responses, and folds the completed cells back into a sweep.Checkpoint
+// that is bit-identical to a single-node run's.
+//
+// Time is always passed in by the caller, so every TTL path is testable
+// with a fake clock and the service can drive all Boards off one
+// injectable clock.
+package shard

@@ -1,0 +1,27 @@
+package shard
+
+// Coordinator-side metrics for distributed sweep execution, exposed
+// through internal/obs on the serving process. Everything records at
+// lease/cell granularity; nothing feeds back into which worker gets
+// which cell, so results stay bit-deterministic regardless of churn.
+
+import "repro/internal/obs"
+
+var (
+	obsLeaseGranted = obs.NewCounter("sweep_lease_granted_total",
+		"Cell leases granted to sweep workers.")
+	obsLeaseExpired = obs.NewCounter("sweep_lease_expired_total",
+		"Straggler leases reclaimed after their TTL passed without a heartbeat.")
+	obsHeartbeats = obs.NewCounter("sweep_lease_heartbeats_total",
+		"Worker heartbeats received (each extends all of the worker's live leases).")
+	obsLeasesActive = obs.NewGauge("sweep_leases_active",
+		"Cell leases currently outstanding across all distributed sweeps.")
+	obsCellsAccepted = obs.NewCounter("sweep_lease_cells_accepted_total",
+		"Cell results accepted from workers (first completion per cell).")
+	obsDuplicateCells = obs.NewCounter("sweep_duplicate_cells_total",
+		"Duplicate cell completions (cell already done; results asserted bit-identical).")
+	obsResultMismatch = obs.NewCounter("sweep_duplicate_mismatch_total",
+		"Duplicate completions that were NOT bit-identical to the accepted result (version-skewed worker).")
+	obsWorkersJoined = obs.NewCounter("sweep_workers_joined_total",
+		"Distinct workers that requested their first lease on a board (worker churn).")
+)

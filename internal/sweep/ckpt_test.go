@@ -1,0 +1,159 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func testCheckpoint(t *testing.T) (Sweep, *Checkpoint) {
+	t.Helper()
+	s := Sweep{
+		Grid: Grid{Axes: []Axis{{Name: "x", Values: []float64{0.2, 0.4}}}},
+		Prec: Precision{MinTrials: 8, MaxTrials: 16},
+		Seed: 7,
+	}
+	cp, err := s.Run(context.Background(), nil, func(values map[string]float64, trial int, r *rng.Stream) float64 {
+		if r.Float64() < values["x"] {
+			return 1
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, cp
+}
+
+// TestWriteFileRoundTrip is the durability contract at the API level:
+// what WriteFile published is complete and decodes bit-identically after
+// reopening — the write-then-reopen assertion that a synced, renamed file
+// can never be the empty or truncated artifact the pre-fsync save could
+// leave behind.
+func TestWriteFileRoundTrip(t *testing.T) {
+	_, cp := testCheckpoint(t)
+	path := filepath.Join(t.TempDir(), "sweep.ckpt.json")
+	if err := cp.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, have bytes.Buffer
+	if err := cp.Encode(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Encode(&have); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), have.Bytes()) {
+		t.Fatalf("reopened checkpoint differs:\n%s\nvs\n%s", have.String(), want.String())
+	}
+	// The temp file must not survive a successful publish.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != filepath.Base(path) {
+			t.Fatalf("leftover file %q after WriteFile", e.Name())
+		}
+	}
+}
+
+// TestWriteFileReplacesExisting overwrites a stale checkpoint in place and
+// leaves only the new content — the resume-loop usage pattern.
+func TestWriteFileReplacesExisting(t *testing.T) {
+	_, cp := testCheckpoint(t)
+	path := filepath.Join(t.TempDir(), "sweep.ckpt.json")
+	if err := os.WriteFile(path, []byte("stale garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatalf("replaced checkpoint unreadable: %v", err)
+	}
+	if got.Spec != cp.Spec || len(got.Cells) != len(cp.Cells) {
+		t.Fatalf("got spec %q cells %d, want %q cells %d", got.Spec, len(got.Cells), cp.Spec, len(cp.Cells))
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	_, cp := testCheckpoint(t)
+	if err := cp.WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "x.json")); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}
+
+func TestReadCheckpointFileMissing(t *testing.T) {
+	_, err := ReadCheckpointFile(filepath.Join(t.TempDir(), "absent.json"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file → %v, want os.ErrNotExist", err)
+	}
+}
+
+// TestCheckpointValidate covers the version-skew errors workers and
+// resumed runs can ship: spec drift, cells from a larger or reshaped
+// grid, and duplicated cells. Each must be a clean, descriptive error —
+// never a Grid.Values panic downstream.
+func TestCheckpointValidate(t *testing.T) {
+	s, cp := testCheckpoint(t)
+	if err := cp.Validate(s.SpecKey(), s.Grid); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+
+	other := s
+	other.Seed = 8
+	err := cp.Validate(other.SpecKey(), other.Grid)
+	if err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("spec drift → %v", err)
+	}
+
+	big := &Checkpoint{Spec: s.SpecKey(), Cells: []Cell{{Index: 0}, {Index: 5}}}
+	err = big.Validate(s.SpecKey(), s.Grid)
+	if err == nil || !strings.Contains(err.Error(), "outside grid") {
+		t.Fatalf("oversized cell index → %v", err)
+	}
+
+	neg := &Checkpoint{Spec: s.SpecKey(), Cells: []Cell{{Index: -1}}}
+	if err := neg.Validate(s.SpecKey(), s.Grid); err == nil {
+		t.Fatal("negative cell index accepted")
+	}
+
+	dup := &Checkpoint{Spec: s.SpecKey(), Cells: []Cell{{Index: 1}, {Index: 1}}}
+	err = dup.Validate(s.SpecKey(), s.Grid)
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate cell index → %v", err)
+	}
+}
+
+// TestRunRejectsReshapedCheckpoint drives the Validate wiring through
+// Sweep.Run itself: a prior whose spec matches nothing, or whose cells
+// outrange the grid, errors out before any trial runs.
+func TestRunRejectsReshapedCheckpoint(t *testing.T) {
+	s, cp := testCheckpoint(t)
+	obs := func(values map[string]float64, trial int, r *rng.Stream) float64 { return 0 }
+
+	// Same spec string, but cells beyond the grid: simulate a hand-edited
+	// or version-skewed file.
+	bad := &Checkpoint{Spec: s.SpecKey(), Cells: append([]Cell{}, cp.Cells...)}
+	bad.Cells = append(bad.Cells, Cell{Index: 99})
+	if _, err := s.Run(context.Background(), bad, obs); err == nil {
+		t.Fatal("out-of-range prior cell accepted")
+	}
+
+	foreign := &Checkpoint{Spec: "something else"}
+	if _, err := s.Run(context.Background(), foreign, obs); err == nil {
+		t.Fatal("foreign spec accepted")
+	}
+}

@@ -244,8 +244,8 @@ func (s Sweep) Run(ctx context.Context, prior *Checkpoint, obs CellObservable) (
 	spec := s.SpecKey()
 	cp := &Checkpoint{Spec: spec}
 	if prior != nil {
-		if prior.Spec != spec {
-			return nil, fmt.Errorf("sweep: checkpoint spec %q does not match sweep spec %q", prior.Spec, spec)
+		if err := prior.Validate(spec, s.Grid); err != nil {
+			return nil, err
 		}
 		cp.Cells = append(cp.Cells, prior.Cells...)
 	}
