@@ -608,6 +608,39 @@ func BenchmarkObsSpan(b *testing.B) {
 	}
 }
 
+// BenchmarkObsSpanAttrs is the traced-request record path as the service
+// middleware and sweepworker actually use it: a span plus string and int
+// attributes and the error check, still 0 allocs/op — attributes live in
+// a fixed inline array, never a map.
+func BenchmarkObsSpanAttrs(b *testing.B) {
+	tr := obs.NewTracer(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("bench.op")
+		sp.SetAttr("worker", "w1")
+		sp.SetAttrInt("cell", int64(i))
+		sp.End()
+	}
+}
+
+// BenchmarkObsInjectExtract pins the trace-context hop a worker pays on
+// every POST: render the traceparent into a reused buffer and parse it
+// back, 0 allocs/op.
+func BenchmarkObsInjectExtract(b *testing.B) {
+	sc := obs.SpanContext{Trace: obs.NewTraceID(), Span: 42}
+	buf := make([]byte, 0, obs.TraceparentLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = sc.AppendTraceparent(buf[:0])
+		got, ok := obs.ParseTraceparentBytes(buf)
+		if !ok || got != sc {
+			b.Fatal("traceparent round trip failed")
+		}
+	}
+}
+
 // BenchmarkSweepE18CellQuick is one real sweep cell at E18 quick scale: a
 // markov-labeled directed clique estimated to ±0.12 — the unit the
 // connectivity-threshold experiment spends.

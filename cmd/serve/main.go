@@ -31,10 +31,15 @@
 //	POST /sweeps/{id}/cells         distributed sweeps: report completed cells
 //	POST /sweeps/{id}/heartbeat     distributed sweeps: extend a worker's leases
 //	GET  /sweeps/{id}/checkpoint    distributed sweeps: durable progress snapshot
+//	GET  /sweeps/{id}/timeline      distributed sweeps: per-cell lease/expiry/completion log
 //	GET  /healthz                   liveness
 //	GET  /stats                     jobs run, cache hit rate, duration p50/p95/p99
-//	GET  /metrics                   Prometheus text exposition (internal/obs)
-//	GET  /debug/trace               recent spans as JSON (internal/obs ring)
+//	GET  /metrics                   Prometheus text exposition (internal/obs),
+//	                                including runtime_* health series (GC pause,
+//	                                heap, goroutines, sched latency)
+//	GET  /debug/trace               recent spans as JSON (internal/obs ring);
+//	                                ?trace=&name=&min_dur_us=&limit= filter,
+//	                                ?view=tree renders per-trace timelines
 //	     /debug/pprof/...           net/http/pprof profiles, with -pprof only
 //
 // Determinism makes the cache sound: a job's numbers depend only on its
@@ -161,6 +166,7 @@ func buildQueryEngine(path, mode string, memMiB int64) (*service.QueryEngine, er
 // observability endpoints, with the pprof handlers mounted only when
 // requested (profiling endpoints are too sharp to expose by default).
 func newMux(m *service.Manager, qe *service.QueryEngine, pprofOn bool) http.Handler {
+	obs.RegisterRuntimeMetrics() // runtime_* health series, sampled at scrape time
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", obs.Handler())
 	mux.Handle("GET /debug/trace", obs.TraceHandler())

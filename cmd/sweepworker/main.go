@@ -14,10 +14,18 @@
 // run.
 //
 // Fault model: transport errors and 5xx responses are retried with
-// exponential backoff; a lost worker's leases expire at the coordinator
-// and its cells are re-leased; a duplicate completion (the worker was
-// slow, not dead) is acknowledged as "duplicate" and is harmless. The
-// worker exits 0 when the sweep reaches a terminal state.
+// decorrelated-jitter backoff (so a worker fleet that lost its
+// coordinator desynchronises instead of thundering back); a lost worker's
+// leases expire at the coordinator and its cells are re-leased; a
+// duplicate completion (the worker was slow, not dead) is acknowledged as
+// "duplicate" and is harmless. The worker exits 0 when the sweep reaches
+// a terminal state.
+//
+// Observability: the lease response carries the coordinator's sweep-root
+// trace context; each cell runs under a worker.cell span parented to it
+// and every POST carries a traceparent header, so cmd/traceview can
+// stitch the coordinator's /debug/trace dump and this worker's -trace-out
+// file into one cross-process timeline.
 package main
 
 import (
@@ -29,12 +37,14 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/sweep"
 )
@@ -51,6 +61,7 @@ func main() {
 	flag.IntVar(&w.trialWorkers, "trial-workers", 0, "trial parallelism per cell (0 = GOMAXPROCS; never changes results)")
 	flag.DurationVar(&w.poll, "poll", 500*time.Millisecond, "poll interval when no cells are available, and base retry backoff")
 	flag.DurationVar(&w.cellDelay, "cell-delay", 0, "testing: sleep this long after computing each cell before reporting it")
+	traceOut := flag.String("trace-out", "", "write this worker's span ring as a JSON trace dump to this file on exit (merge with cmd/traceview)")
 	verbose := flag.Bool("v", false, "log each lease and completion")
 	flag.Parse()
 
@@ -71,9 +82,30 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := w.run(ctx); err != nil {
+	err := w.run(ctx)
+	if *traceOut != "" {
+		if werr := writeTraceDump(*traceOut); werr != nil {
+			log.Printf("trace dump: %v", werr)
+		}
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// writeTraceDump persists this process's span ring so an operator (or the
+// CI smoke test) can stitch it against the coordinator's /debug/trace dump
+// with cmd/traceview.
+func writeTraceDump(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.DefaultTracer().DumpJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // worker is one lease-pulling execution loop. All fields are set before
@@ -99,6 +131,13 @@ type worker struct {
 	kind sweep.Kind
 	prec sweep.Precision
 	spec string
+
+	// sweepCtx is the coordinator's sweep-root trace context, parsed from
+	// the first lease response that carries one. Per-cell spans parent to
+	// it, and every POST injects the current span's context so the
+	// coordinator's server spans stitch under this worker's. Written once
+	// in prepare (before the heartbeat goroutine exists), read-only after.
+	sweepCtx obs.SpanContext
 }
 
 // errSweepOver signals a clean stop: the sweep reached a terminal state
@@ -159,6 +198,11 @@ func (w *worker) prepare(resp *service.LeaseResponse) error {
 	if got := req.Spec().SpecKey(); got != resp.Spec {
 		return fmt.Errorf("spec fingerprint mismatch (version skew?):\n  coordinator: %s\n  local:       %s", resp.Spec, got)
 	}
+	if !w.sweepCtx.Valid() {
+		if sc, ok := obs.ParseTraceparent(resp.Trace); ok {
+			w.sweepCtx = sc
+		}
+	}
 	if w.src != nil {
 		return nil // engine already built; fingerprint re-verified above
 	}
@@ -197,7 +241,21 @@ func (w *worker) runLeases(ctx context.Context, resp *service.LeaseResponse) err
 
 // runCell computes one cell exactly as Sweep.Run would — same Adaptive
 // configuration, same batched source, same per-cell seed — and reports it.
-func (w *worker) runCell(ctx context.Context, l service.CellLease) error {
+// The whole cell runs under a worker.cell span parented to the
+// coordinator's sweep root, so a merged trace shows which worker ran which
+// cell and how long the compute took relative to the report round-trip.
+func (w *worker) runCell(ctx context.Context, l service.CellLease) (err error) {
+	span := obs.StartRemoteSpan("worker.cell", w.sweepCtx)
+	span.SetAttr("worker", w.name)
+	span.SetAttrInt("cell", int64(l.Index))
+	span.SetAttrInt("lease", l.LeaseID)
+	defer func() {
+		if err != nil {
+			span.SetError(err)
+		}
+		span.End()
+	}()
+
 	w.debugf("cell %d (lease %d): %v", l.Index, l.LeaseID, l.Values)
 	a := sweep.Adaptive{Seed: l.Seed, Workers: w.trialWorkers, Kind: w.kind, Prec: w.prec}
 	est, err := a.EstimateSource(ctx, w.src(l.Values, l.Seed, w.trialWorkers, nil))
@@ -213,7 +271,7 @@ func (w *worker) runCell(ctx context.Context, l service.CellLease) error {
 		}
 	}
 	var cr service.CompleteResponse
-	err = w.post(ctx, "/cells", service.CompleteRequest{
+	err = w.postTraced(ctx, span.Context(), "/cells", service.CompleteRequest{
 		Worker: w.name, LeaseID: l.LeaseID,
 		Cell: sweep.Cell{Index: l.Index, Values: l.Values, Est: est},
 	}, &cr)
@@ -263,19 +321,28 @@ type apiError struct {
 
 func (e *apiError) Error() string { return fmt.Sprintf("coordinator: %d %s", e.code, e.msg) }
 
-// post sends one JSON request to the sweep's sub-path, retrying transport
-// errors and 5xx with exponential backoff. 4xx returns *apiError
-// immediately — those are protocol outcomes, not transients.
+// post sends one JSON request to the sweep's sub-path under the sweep's
+// root trace context (no header before the first lease response arrives).
 func (w *worker) post(ctx context.Context, sub string, body, out any) error {
+	return w.postTraced(ctx, w.sweepCtx, sub, body, out)
+}
+
+// postTraced is post with an explicit trace context — runCell passes its
+// per-cell span so the coordinator's server span for the report parents
+// under it. Transport errors and 5xx are retried with decorrelated-jitter
+// backoff; 4xx returns *apiError immediately — those are protocol
+// outcomes, not transients.
+func (w *worker) postTraced(ctx context.Context, sc obs.SpanContext, sub string, body, out any) error {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
 	url := w.base + "/sweeps/" + w.sweepID + sub
-	backoff := w.poll
-	if backoff <= 0 {
-		backoff = 500 * time.Millisecond
+	base := w.poll
+	if base <= 0 {
+		base = 500 * time.Millisecond
 	}
+	backoff := base
 	var last error
 	for attempt := 0; attempt < 6; attempt++ {
 		if attempt > 0 {
@@ -283,15 +350,14 @@ func (w *worker) post(ctx context.Context, sub string, body, out any) error {
 			if err := sleepCtx(ctx, backoff); err != nil {
 				return err
 			}
-			if backoff *= 2; backoff > 5*time.Second {
-				backoff = 5 * time.Second
-			}
+			backoff = nextBackoff(backoff, base)
 		}
 		req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(data))
 		if err != nil {
 			return err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		obs.Inject(sc, req.Header)
 		resp, err := w.client.Do(req)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -316,6 +382,28 @@ func (w *worker) post(ctx context.Context, sub string, body, out any) error {
 		return json.Unmarshal(rb, out)
 	}
 	return fmt.Errorf("giving up on %s: %w", sub, last)
+}
+
+// backoffCap bounds the retry sleep regardless of how many attempts have
+// failed.
+const backoffCap = 5 * time.Second
+
+// nextBackoff implements decorrelated jitter ("full jitter" with memory):
+// sleep uniformly in [base, min(cap, prev*3)]. Unlike deterministic
+// doubling, a fleet of workers that all lost the coordinator at the same
+// instant desynchronises after one round instead of thundering back in
+// lockstep. The randomness is the runtime's (math/rand/v2) — retry timing
+// never touches internal/rng trial streams, so backoff cannot perturb
+// results.
+func nextBackoff(prev, base time.Duration) time.Duration {
+	hi := prev * 3
+	if hi > backoffCap {
+		hi = backoffCap
+	}
+	if hi <= base {
+		return base
+	}
+	return base + rand.N(hi-base)
 }
 
 // errBody extracts the handler's {"error": "..."} message, falling back to

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/sweep"
 )
@@ -213,6 +214,117 @@ func TestWorkerRejectsSpecMismatch(t *testing.T) {
 	err := w.run(context.Background())
 	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("fingerprint mismatch")) {
 		t.Fatalf("worker accepted a mismatched spec: %v", err)
+	}
+}
+
+// TestWorkerStitchesTrace runs a full distributed sweep in-process and
+// checks the trace that falls out: the worker adopts the coordinator's
+// sweep-root context from the lease response, every cell gets a
+// worker.cell span parented under the root, and each /cells report's
+// server span parents under its cell span — one connected tree across
+// both halves of the protocol.
+func TestWorkerStitchesTrace(t *testing.T) {
+	m := service.New(service.Options{Workers: 1, LeaseTTL: time.Minute})
+	defer m.Close()
+	srv := httptest.NewServer(service.NewHandler(m))
+	defer srv.Close()
+
+	job, err := m.SubmitSweep(testSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWorker(srv.URL, job.ID(), "w1")
+	if err := w.run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !w.sweepCtx.Valid() {
+		t.Fatal("worker never adopted the coordinator's trace context")
+	}
+
+	spans := obs.DefaultTracer().Filtered(obs.TraceFilter{Trace: w.sweepCtx.Trace})
+	cells := map[uint64]bool{} // worker.cell span ids
+	var reports int
+	for _, s := range spans {
+		switch s.Name {
+		case "worker.cell":
+			if s.Parent != w.sweepCtx.Span {
+				t.Fatalf("worker.cell parent %d, want sweep root %d", s.Parent, w.sweepCtx.Span)
+			}
+			attrs := map[string]string{}
+			for _, a := range s.Attrs[:s.NAttrs] {
+				attrs[a.Key] = a.Value()
+			}
+			if attrs["worker"] != "w1" || attrs["cell"] == "" || attrs["lease"] == "" {
+				t.Fatalf("worker.cell attrs %v", attrs)
+			}
+			cells[s.ID] = true
+		}
+	}
+	if len(cells) != 4 {
+		t.Fatalf("%d worker.cell spans, want one per cell (4)", len(cells))
+	}
+	for _, s := range spans {
+		if s.Name == "http.server" && cells[s.Parent] {
+			reports++
+		}
+	}
+	if reports != 4 {
+		t.Fatalf("%d /cells server spans parented under cell spans, want 4", reports)
+	}
+
+	// The dump the -trace-out flag writes decodes and carries the trace.
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := writeTraceDump(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump obs.TraceDump
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Proc == "" || dump.BaseUnixNS == 0 {
+		t.Fatalf("dump missing process anchor: %+v", dump)
+	}
+	want := w.sweepCtx.Trace.String()
+	found := false
+	for _, s := range dump.Spans {
+		if s.Trace == want {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s absent from -trace-out dump", want)
+	}
+}
+
+// TestNextBackoffBounds pins the decorrelated-jitter envelope: every step
+// stays in [base, cap], and the reachable ceiling actually grows toward
+// the cap rather than sticking at base.
+func TestNextBackoffBounds(t *testing.T) {
+	const base = 100 * time.Millisecond
+	sawAboveDouble := false
+	for trial := 0; trial < 200; trial++ {
+		prev := base
+		for step := 0; step < 8; step++ {
+			next := nextBackoff(prev, base)
+			if next < base || next > backoffCap {
+				t.Fatalf("backoff %v escaped [%v, %v]", next, base, backoffCap)
+			}
+			if next > 2*base {
+				sawAboveDouble = true
+			}
+			prev = next
+		}
+	}
+	if !sawAboveDouble {
+		t.Fatal("backoff never exceeded 2×base across 200 trials — jitter looks broken")
+	}
+	if got := nextBackoff(backoffCap, backoffCap); got != backoffCap {
+		t.Fatalf("degenerate cap==base case: %v, want %v", got, backoffCap)
 	}
 }
 

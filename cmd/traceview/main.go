@@ -1,0 +1,155 @@
+// Command traceview merges trace dumps from several processes — the
+// coordinator's GET /debug/trace and workers' -trace-out files — into
+// per-trace timelines. Spans sharing a TraceID are stitched into one tree
+// regardless of which process recorded them; each dump's BaseUnixNS
+// anchors its monotonic span clocks onto the shared wall-clock axis, and
+// the chain of spans that bounded each trace's wall time is marked '*'
+// (the critical path).
+//
+//	traceview http://localhost:8080/debug/trace worker-a.json worker-b.json
+//	traceview -trace 4bf92f3577b34da6a3ce929d0e0e4736 coord.json
+//	traceview -name sweep.coordinate coord.json worker.json
+//
+// Arguments starting with http:// or https:// are fetched; everything
+// else is read as a file ("-" for stdin). Each source must be one
+// obs.TraceDump JSON document.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// run is main without the process exit, for tests: it returns 0 when the
+// filters matched at least one trace and 2 when they matched none (like
+// grep, so smoke scripts can assert a stitched trace exists).
+func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
+	traceID := fs.String("trace", "", "only this 32-hex-digit trace id")
+	name := fs.String("name", "", "only traces containing a span with this exact name")
+	procs := fs.Bool("procs", false, "list source processes and span counts before the timelines")
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+	if fs.NArg() == 0 {
+		return 1, fmt.Errorf("no dump sources; usage: traceview [-trace id] [-name span] <url-or-file>...")
+	}
+	if *traceID != "" {
+		if _, err := obs.ParseTraceID(*traceID); err != nil {
+			return 1, err
+		}
+	}
+
+	var spans []obs.FlatSpan
+	for _, src := range fs.Args() {
+		dump, err := readDump(src, stdin)
+		if err != nil {
+			return 1, fmt.Errorf("%s: %w", src, err)
+		}
+		if *procs {
+			fmt.Fprintf(stdout, "proc %s: %d spans (ring %d/%d) from %s\n",
+				dump.Proc, len(dump.Spans), dump.Recorded, dump.Capacity, src)
+		}
+		spans = append(spans, dump.Flatten()...)
+	}
+
+	trees := assembleFiltered(spans, *traceID, *name)
+	if err := obs.WriteTraceText(stdout, trees); err != nil {
+		return 1, err
+	}
+	if len(trees) == 0 {
+		fmt.Fprintln(stdout, "no traces matched")
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// assembleFiltered builds trace trees and keeps those matching the
+// filters: an exact trace id, and/or the presence of a span with the
+// given name anywhere in the tree.
+func assembleFiltered(spans []obs.FlatSpan, traceID, name string) []obs.TraceTree {
+	trees := obs.AssembleTraces(spans)
+	out := trees[:0]
+	for _, tree := range trees {
+		if traceID != "" && tree.Trace != traceID {
+			continue
+		}
+		if name != "" && !treeHasName(tree, name) {
+			continue
+		}
+		out = append(out, tree)
+	}
+	return out
+}
+
+func treeHasName(tree obs.TraceTree, name string) bool {
+	var walk func(n *obs.TraceNode) bool
+	walk = func(n *obs.TraceNode) bool {
+		if n.Span.Name == name {
+			return true
+		}
+		for _, c := range n.Children {
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range tree.Roots {
+		if walk(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// readDump loads one obs.TraceDump from a URL, a file, or stdin ("-").
+func readDump(src string, stdin io.Reader) (obs.TraceDump, error) {
+	var (
+		r   io.ReadCloser
+		err error
+	)
+	switch {
+	case src == "-":
+		r = io.NopCloser(stdin)
+	case len(src) > 7 && (src[:7] == "http://" || (len(src) > 8 && src[:8] == "https://")):
+		client := &http.Client{Timeout: 30 * time.Second}
+		resp, herr := client.Get(src)
+		if herr != nil {
+			return obs.TraceDump{}, herr
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+			resp.Body.Close()
+			return obs.TraceDump{}, fmt.Errorf("GET: %d %s", resp.StatusCode, body)
+		}
+		r = resp.Body
+	default:
+		r, err = os.Open(src)
+		if err != nil {
+			return obs.TraceDump{}, err
+		}
+	}
+	defer r.Close()
+	var dump obs.TraceDump
+	if err := json.NewDecoder(io.LimitReader(r, 64<<20)).Decode(&dump); err != nil {
+		return obs.TraceDump{}, err
+	}
+	return dump, nil
+}

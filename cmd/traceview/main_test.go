@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// trace is the id shared by the two fixture processes.
+const traceHex = "0102030400000000000000000000000f"
+
+// coordDump mimics a coordinator /debug/trace response: the sweep root
+// and the server span for a worker's report.
+func coordDump() obs.TraceDump {
+	return obs.TraceDump{
+		Proc:       "coord-1",
+		BaseUnixNS: 1_000_000,
+		Capacity:   4096,
+		Recorded:   2,
+		Spans: []obs.SpanJSON{
+			{Trace: traceHex, ID: 1, Name: "sweep.coordinate", StartNS: 0, DurNS: 9_000,
+				Attrs: map[string]string{"sweep": "j1"}},
+			{Trace: traceHex, ID: 2, Parent: 7, Name: "http.server", StartNS: 6_000, DurNS: 500},
+		},
+	}
+}
+
+// workerDump mimics a worker -trace-out file: one cell span parented to
+// the coordinator's root, recorded on a different monotonic clock.
+func workerDump() obs.TraceDump {
+	return obs.TraceDump{
+		Proc:       "worker-2",
+		BaseUnixNS: 1_000_500,
+		Capacity:   4096,
+		Recorded:   1,
+		Spans: []obs.SpanJSON{
+			{Trace: traceHex, ID: 7, Parent: 1, Name: "worker.cell", StartNS: 1_000, DurNS: 7_000,
+				Attrs: map[string]string{"worker": "w1", "cell": "3"}},
+		},
+	}
+}
+
+func writeDump(t *testing.T, dump obs.TraceDump) string {
+	t.Helper()
+	b, err := json.Marshal(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), dump.Proc+".json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMergesFileAndHTTPSources is the command's contract: a dump served
+// over HTTP (the coordinator) and a dump file (the worker) stitch into one
+// tree, cross-process parent links intact and the critical path marked.
+func TestMergesFileAndHTTPSources(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(coordDump())
+	}))
+	defer srv.Close()
+	workerPath := writeDump(t, workerDump())
+
+	var out bytes.Buffer
+	code, err := run([]string{"-procs", srv.URL, workerPath}, nil, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("run → %d, %v\n%s", code, err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"proc coord-1: 2 spans",
+		"proc worker-2: 1 spans",
+		"trace " + traceHex,
+		"sweep.coordinate",
+		"worker.cell",
+		"[worker-2]",
+		"worker=w1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+	// Stitching: worker.cell is indented under sweep.coordinate, and
+	// http.server (child of the worker span) one level deeper.
+	lines := strings.Split(text, "\n")
+	depth := func(name string) int {
+		for _, l := range lines {
+			if i := strings.Index(l, name); i >= 0 && strings.Contains(l, "  "+name) {
+				return i
+			}
+		}
+		t.Fatalf("span %s not in output:\n%s", name, text)
+		return -1
+	}
+	if !(depth("sweep.coordinate") < depth("worker.cell") && depth("worker.cell") < depth("http.server")) {
+		t.Fatalf("tree not stitched across processes:\n%s", text)
+	}
+	// The whole chain bounds the trace, so every span is critical.
+	for _, l := range lines {
+		if strings.Contains(l, "worker.cell") && !strings.HasPrefix(l, "*") {
+			t.Fatalf("worker.cell not on critical path:\n%s", text)
+		}
+	}
+}
+
+// TestFilters pins the grep-style exit code: 0 when a filter matches,
+// 2 when nothing does, 1 on a bad trace id.
+func TestFilters(t *testing.T) {
+	coordPath := writeDump(t, coordDump())
+
+	var out bytes.Buffer
+	if code, err := run([]string{"-name", "sweep.coordinate", coordPath}, nil, &out); err != nil || code != 0 {
+		t.Fatalf("name filter → %d, %v", code, err)
+	}
+	out.Reset()
+	if code, err := run([]string{"-trace", traceHex, coordPath}, nil, &out); err != nil || code != 0 {
+		t.Fatalf("trace filter → %d, %v", code, err)
+	}
+	out.Reset()
+	if code, err := run([]string{"-name", "no.such.span", coordPath}, nil, &out); err != nil || code != 2 {
+		t.Fatalf("unmatched filter → %d, %v (want 2)", code, err)
+	}
+	if !strings.Contains(out.String(), "no traces matched") {
+		t.Fatalf("unmatched output %q", out.String())
+	}
+	if code, _ := run([]string{"-trace", "NOT-HEX", coordPath}, nil, &out); code != 1 {
+		t.Fatalf("bad trace id → %d, want 1", code)
+	}
+	if code, _ := run([]string{}, nil, &out); code != 1 {
+		t.Fatal("no sources should be an error")
+	}
+}
+
+// TestReadsStdin covers the "-" source.
+func TestReadsStdin(t *testing.T) {
+	b, err := json.Marshal(workerDump())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code, err := run([]string{"-"}, bytes.NewReader(b), &out)
+	if err != nil || code != 0 {
+		t.Fatalf("stdin run → %d, %v", code, err)
+	}
+	if !strings.Contains(out.String(), "worker.cell") {
+		t.Fatalf("stdin output %q", out.String())
+	}
+}

@@ -64,14 +64,18 @@
 //	                     bit-identical
 //	internal/obs         zero-dependency observability: atomic counters and
 //	                     gauges, sharded lock-free histograms, Prometheus
-//	                     text exposition, and monotonic-clock spans in an
+//	                     text exposition, runtime/metrics health gauges,
+//	                     and distributed tracing — spans with trace ids,
+//	                     attributes and traceparent propagation in an
 //	                     in-memory ring — 0 allocs/op on the record path
 //	cmd/...              command-line tools; cmd/serve runs the HTTP
 //	                     service (plus /metrics, /debug/trace and optional
 //	                     pprof) and coordinates distributed sweeps;
 //	                     cmd/sweep runs adaptive sweeps and threshold
 //	                     searches; cmd/sweepworker pulls distributed-sweep
-//	                     cell leases; examples/... runnable examples
+//	                     cell leases; cmd/traceview stitches coordinator
+//	                     and worker trace dumps into cross-process
+//	                     timelines; examples/... runnable examples
 //
 // The experiment service (internal/service + cmd/serve) turns the one-shot
 // drivers into a long-running system: jobs are submitted, tracked and

@@ -27,12 +27,37 @@
 //
 // # Tracing
 //
-// StartSpan opens a lightweight span: an id, optional parentage
-// (Span.Child), and a monotonic start reading. Span.End records the
-// completed span into a fixed-size in-memory ring buffer; TraceHandler
-// dumps the ring as JSON (GET /debug/trace in cmd/serve). Spans are meant
-// for request/job/cell-scale work, not per-trial inner loops — the ring
-// write takes a mutex.
+// StartSpan opens a lightweight span: a 128-bit TraceID, an id, optional
+// parentage (Span.Child), key/value attributes (SetAttr/SetAttrInt, a
+// fixed inline array — still 0 allocs/op), and a monotonic start reading.
+// Span.End records the completed span into a fixed-size in-memory ring
+// buffer; TraceHandler dumps the ring as JSON (GET /debug/trace in
+// cmd/serve), filterable by ?trace=, ?name=, ?min_dur_us= and ?limit=,
+// and renderable as indented per-trace timelines with ?view=tree. Spans
+// are meant for request/job/cell-scale work, not per-trial inner loops —
+// the ring write takes a mutex.
+//
+// Traces span processes: Inject writes a span's context into an HTTP
+// header as a W3C-style traceparent value, Extract reads it back, and
+// StartRemoteSpan opens a span parented under a remote context. The
+// coordinator's sweep-root context rides every lease response, workers
+// parent their per-cell spans to it and inject their context on every
+// report, so one distributed sweep is one trace regardless of process
+// count. Each dump carries its process name and a wall-clock anchor
+// (TraceDump.BaseUnixNS); Flatten and AssembleTraces merge dumps from
+// several processes into per-trace trees with the critical path marked —
+// cmd/traceview is the CLI over exactly that path.
+//
+// Trace ids come from the runtime's own random state (math/rand/v2),
+// never from internal/rng trial streams: tracing cannot perturb trial
+// randomness, so instrumented and uninstrumented runs are bit-identical.
+//
+// # Runtime health
+//
+// RegisterRuntimeMetrics exports the process's own health as runtime_*
+// gauges read from runtime/metrics at scrape time (behind a short-TTL
+// cache): goroutine count, heap bytes, GC cycle count, and GC-pause and
+// scheduler-latency quantiles.
 //
 // # Conventions
 //

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Runtime health telemetry: a bridge from the runtime/metrics package to
+// gauge series sampled at scrape time. GC pause and scheduling-latency
+// distributions surface as quantiles, so a scrape shows whether sweep
+// tail latency is the engine's fault or the runtime's.
+
+// runtimeSampleTTL bounds how often a scrape re-reads the runtime: the
+// registry calls one GaugeFunc per series, and metrics.Read is a
+// stop-the-world-ish operation we don't want ten times per scrape.
+const runtimeSampleTTL = 200 * time.Millisecond
+
+// runtimeSampler caches one metrics.Read for the series sharing it.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	last    time.Time
+	samples []metrics.Sample
+	index   map[string]int
+}
+
+func newRuntimeSampler(keys []string) *runtimeSampler {
+	s := &runtimeSampler{
+		samples: make([]metrics.Sample, len(keys)),
+		index:   make(map[string]int, len(keys)),
+	}
+	for i, k := range keys {
+		s.samples[i].Name = k
+		s.index[k] = i
+	}
+	metrics.Read(s.samples)
+	s.last = time.Now()
+	return s
+}
+
+// sample returns the (possibly cached) current value of key.
+func (s *runtimeSampler) sample(key string) metrics.Value {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.last) > runtimeSampleTTL {
+		metrics.Read(s.samples)
+		s.last = time.Now()
+	}
+	return s.samples[s.index[key]].Value
+}
+
+// scalar renders a uint64 or float64 sample as a float; unsupported
+// kinds (runtime version drift) read as NaN rather than panicking.
+func (s *runtimeSampler) scalar(key string) float64 {
+	v := s.sample(key)
+	switch v.Kind() {
+	case metrics.KindUint64:
+		return float64(v.Uint64())
+	case metrics.KindFloat64:
+		return v.Float64()
+	}
+	return math.NaN()
+}
+
+// quantile reads histogram sample key at quantile q (0 < q <= 1).
+func (s *runtimeSampler) quantile(key string, q float64) float64 {
+	v := s.sample(key)
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return math.NaN()
+	}
+	return histQuantile(v.Float64Histogram(), q)
+}
+
+// histQuantile computes quantile q of a runtime histogram, reporting the
+// upper bound of the bucket the target count lands in — pessimistic, the
+// right bias for latency telemetry. An empty histogram reads 0.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			// Buckets[i+1] is the bucket's upper bound; the last bucket's
+			// can be +Inf, where the lower bound is the only finite answer.
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// RegisterRuntimeMetrics registers the runtime health series on r:
+//
+//	runtime_goroutines              live goroutine count
+//	runtime_heap_objects_bytes      bytes in live + unswept heap objects
+//	runtime_gc_cycles               completed GC cycles
+//	runtime_gc_pause_p50_seconds    median stop-the-world pause
+//	runtime_gc_pause_p99_seconds    p99 stop-the-world pause
+//	runtime_sched_latency_p50_seconds  median goroutine ready→run wait
+//	runtime_sched_latency_p99_seconds  p99 goroutine ready→run wait
+//
+// Values are sampled at scrape time through a shared short-TTL cache, so
+// a scrape costs one metrics.Read. Safe to call more than once — the
+// latest registration's sampler wins.
+func (r *Registry) RegisterRuntimeMetrics() {
+	const (
+		goroutines = "/sched/goroutines:goroutines"
+		heapBytes  = "/memory/classes/heap/objects:bytes"
+		gcCycles   = "/gc/cycles/total:gc-cycles"
+		gcPauses   = "/gc/pauses:seconds"
+		schedLat   = "/sched/latencies:seconds"
+	)
+	s := newRuntimeSampler([]string{goroutines, heapBytes, gcCycles, gcPauses, schedLat})
+	r.GaugeFunc("runtime_goroutines",
+		"Live goroutines, sampled at scrape.",
+		func() float64 { return s.scalar(goroutines) })
+	r.GaugeFunc("runtime_heap_objects_bytes",
+		"Bytes occupied by live and unswept heap objects.",
+		func() float64 { return s.scalar(heapBytes) })
+	r.GaugeFunc("runtime_gc_cycles",
+		"Completed GC cycles since process start.",
+		func() float64 { return s.scalar(gcCycles) })
+	r.GaugeFunc("runtime_gc_pause_p50_seconds",
+		"Median GC stop-the-world pause since process start.",
+		func() float64 { return s.quantile(gcPauses, 0.50) })
+	r.GaugeFunc("runtime_gc_pause_p99_seconds",
+		"p99 GC stop-the-world pause since process start.",
+		func() float64 { return s.quantile(gcPauses, 0.99) })
+	r.GaugeFunc("runtime_sched_latency_p50_seconds",
+		"Median time goroutines spend runnable before running.",
+		func() float64 { return s.quantile(schedLat, 0.50) })
+	r.GaugeFunc("runtime_sched_latency_p99_seconds",
+		"p99 time goroutines spend runnable before running.",
+		func() float64 { return s.quantile(schedLat, 0.99) })
+}
+
+// RegisterRuntimeMetrics registers the runtime series on the default
+// registry (the /metrics endpoint cmd/serve and cmd/sweepworker scrape).
+func RegisterRuntimeMetrics() { defaultRegistry.RegisterRuntimeMetrics() }

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterRuntimeMetrics()
+	r.RegisterRuntimeMetrics() // re-registration replaces, never panics
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if _, err := Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("runtime series fail lint: %v\n%s", err, out)
+	}
+	for _, series := range []string{
+		"runtime_goroutines",
+		"runtime_heap_objects_bytes",
+		"runtime_gc_cycles",
+		"runtime_gc_pause_p50_seconds",
+		"runtime_gc_pause_p99_seconds",
+		"runtime_sched_latency_p50_seconds",
+		"runtime_sched_latency_p99_seconds",
+	} {
+		if !strings.Contains(out, "\n"+series+" ") {
+			t.Errorf("missing series %s in:\n%s", series, out)
+		}
+	}
+	// A live process always has at least this test's goroutine.
+	var g float64
+	for _, line := range strings.Split(out, "\n") {
+		if v, ok := strings.CutPrefix(line, "runtime_goroutines "); ok {
+			var err error
+			if g, err = strconv.ParseFloat(v, 64); err != nil {
+				t.Fatalf("bad goroutines sample %q", v)
+			}
+		}
+	}
+	if g < 1 {
+		t.Fatalf("runtime_goroutines = %v, want >= 1", g)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 10, 80, 10},
+		Buckets: []float64{0, 1, 2, 3, math.Inf(1)},
+	}
+	if q := histQuantile(h, 0.50); q != 3 {
+		t.Fatalf("p50 = %v, want 3 (upper bound of the median bucket)", q)
+	}
+	if q := histQuantile(h, 0.99); q != 3 {
+		t.Fatalf("p99 = %v, want 3 (lower bound of the +Inf bucket)", q)
+	}
+	if q := histQuantile(h, 0.01); q != 2 {
+		t.Fatalf("p1 = %v, want 2", q)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if q := histQuantile(empty, 0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v", q)
+	}
+}

@@ -2,10 +2,13 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestSpanParentage(t *testing.T) {
@@ -39,6 +42,83 @@ func TestSpanParentage(t *testing.T) {
 		if s.DurNS < 0 || s.StartNS < 0 {
 			t.Fatalf("negative clock reading in %+v", s)
 		}
+		if s.Trace != byName["job"].Trace {
+			t.Fatalf("span %q not in root's trace", s.Name)
+		}
+		if s.Trace.IsZero() {
+			t.Fatalf("span %q has no trace id", s.Name)
+		}
+	}
+}
+
+func TestStartRemoteContinuesTrace(t *testing.T) {
+	tr := NewTracer(16)
+	parent := tr.Start("coordinator")
+	sc := parent.Context()
+	if !sc.Valid() {
+		t.Fatal("live span has invalid context")
+	}
+
+	remote := NewTracer(16)
+	span := remote.StartRemote("worker.cell", sc)
+	child := span.Child("trial")
+	child.End()
+	span.End()
+	parent.End()
+
+	spans := remote.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	for _, s := range spans {
+		if s.Trace != sc.Trace {
+			t.Fatalf("span %q trace %s, want %s", s.Name, s.Trace, sc.Trace)
+		}
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["worker.cell"].Parent != sc.Span {
+		t.Fatal("remote span not parented to the propagated span")
+	}
+	if byName["trial"].Parent != byName["worker.cell"].ID {
+		t.Fatal("remote child not parented to remote span")
+	}
+
+	// Invalid context degrades to a fresh root.
+	degraded := remote.StartRemote("orphan", SpanContext{})
+	if degraded.Context().Trace.IsZero() || degraded.Context().Trace == sc.Trace {
+		t.Fatal("invalid remote context did not start a fresh trace")
+	}
+	degraded.End()
+}
+
+func TestSpanAttrsAndError(t *testing.T) {
+	tr := NewTracer(8)
+	s := tr.Start("op")
+	s.SetAttr("worker", "a")
+	s.SetAttrInt("cell", 7)
+	s.SetError(nil) // no-op
+	s.SetError(errors.New("boom"))
+	// Overflow beyond MaxSpanAttrs is dropped, not panicking.
+	for i := 0; i < MaxSpanAttrs+2; i++ {
+		s.SetAttr("extra", "x")
+	}
+	s.End()
+
+	rec := tr.Snapshot()[0]
+	if rec.NAttrs != MaxSpanAttrs {
+		t.Fatalf("nattrs = %d, want %d", rec.NAttrs, MaxSpanAttrs)
+	}
+	if rec.Attrs[0] != (Attr{Key: "worker", Str: "a"}) {
+		t.Fatalf("attr 0 = %+v", rec.Attrs[0])
+	}
+	if rec.Attrs[1].Value() != "7" || !rec.Attrs[1].IsInt {
+		t.Fatalf("attr 1 = %+v", rec.Attrs[1])
+	}
+	if rec.Err != "boom" {
+		t.Fatalf("err = %q", rec.Err)
 	}
 }
 
@@ -65,43 +145,163 @@ func TestTracerRingWraparound(t *testing.T) {
 func TestZeroSpanIsNoOp(t *testing.T) {
 	var s Span
 	s.Child("x").End() // must not panic or record anywhere
+	s.SetAttr("k", "v")
+	s.SetAttrInt("k", 1)
+	s.SetError(errors.New("x"))
 	s.End()
+	if s.Context().Valid() {
+		t.Fatal("zero span has a valid context")
+	}
+}
+
+func TestFiltered(t *testing.T) {
+	tr := NewTracer(16)
+	a := tr.Start("slow")
+	time.Sleep(2 * time.Millisecond)
+	a.End()
+	tr.Start("fast").End()
+	other := tr.Start("slow")
+	time.Sleep(2 * time.Millisecond)
+	other.End()
+
+	if got := tr.Filtered(TraceFilter{Name: "slow"}); len(got) != 2 {
+		t.Fatalf("name filter: %d spans, want 2", len(got))
+	}
+	if got := tr.Filtered(TraceFilter{Trace: a.Context().Trace}); len(got) != 1 || got[0].Name != "slow" {
+		t.Fatalf("trace filter: %+v", got)
+	}
+	if got := tr.Filtered(TraceFilter{MinDur: time.Millisecond}); len(got) != 2 {
+		t.Fatalf("min-dur filter: %d spans, want 2", len(got))
+	}
+	if got := tr.Filtered(TraceFilter{Limit: 1}); len(got) != 1 || got[0].Name != "slow" {
+		t.Fatalf("limit filter should keep the most recent span: %+v", got)
+	}
 }
 
 func TestDumpJSON(t *testing.T) {
 	tr := NewTracer(8)
-	tr.Start("a").End()
+	s := tr.Start("a")
+	s.SetAttr("worker", "w1")
+	s.SetAttrInt("cell", 3)
+	s.End()
 	tr.Start("b").End()
 	var b strings.Builder
 	if err := tr.DumpJSON(&b); err != nil {
 		t.Fatal(err)
 	}
-	var dump struct {
-		Capacity int          `json:"capacity"`
-		Recorded uint64       `json:"recorded"`
-		Spans    []SpanRecord `json:"spans"`
-	}
+	var dump TraceDump
 	if err := json.Unmarshal([]byte(b.String()), &dump); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
 	}
 	if dump.Capacity != 8 || dump.Recorded != 2 || len(dump.Spans) != 2 {
 		t.Fatalf("dump = %+v", dump)
 	}
+	if dump.Proc == "" || dump.BaseUnixNS == 0 {
+		t.Fatalf("dump missing merge anchors: proc=%q base=%d", dump.Proc, dump.BaseUnixNS)
+	}
 	if dump.Spans[0].Name != "a" || dump.Spans[1].Name != "b" {
 		t.Fatalf("span order wrong: %+v", dump.Spans)
+	}
+	if dump.Spans[0].Trace != s.Context().Trace.String() {
+		t.Fatalf("trace id not dumped: %+v", dump.Spans[0])
+	}
+	if dump.Spans[0].Attrs["worker"] != "w1" || dump.Spans[0].Attrs["cell"] != "3" {
+		t.Fatalf("attrs not dumped: %+v", dump.Spans[0].Attrs)
 	}
 }
 
 func TestTraceHandler(t *testing.T) {
 	tr := NewTracer(8)
-	tr.Start("req").End()
-	rec := httptest.NewRecorder()
-	tr.TraceHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	s := tr.Start("req")
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	tr.Start("other").End()
+
+	get := func(url string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		tr.TraceHandler().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		return rec
+	}
+
+	rec := get("/debug/trace")
 	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
 		t.Fatalf("content type %q", ct)
 	}
-	if !strings.Contains(rec.Body.String(), `"name": "req"`) {
-		t.Fatalf("body:\n%s", rec.Body.String())
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"name": "req"`) {
+		t.Fatalf("status %d body:\n%s", rec.Code, rec.Body.String())
+	}
+
+	var dump TraceDump
+	if err := json.Unmarshal(get("/debug/trace?name=req").Body.Bytes(), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Spans) != 1 || dump.Spans[0].Name != "req" {
+		t.Fatalf("name filter: %+v", dump.Spans)
+	}
+
+	if err := json.Unmarshal(get("/debug/trace?min_dur_us=1000&limit=1").Body.Bytes(), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Spans) != 1 || dump.Spans[0].Name != "req" {
+		t.Fatalf("min_dur filter: %+v", dump.Spans)
+	}
+
+	if err := json.Unmarshal(get("/debug/trace?trace="+s.Context().Trace.String()).Body.Bytes(), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Spans) != 1 || dump.Spans[0].Name != "req" {
+		t.Fatalf("trace filter: %+v", dump.Spans)
+	}
+
+	tree := get("/debug/trace?view=tree&name=req")
+	if tree.Code != 200 || !strings.Contains(tree.Body.String(), "req") {
+		t.Fatalf("tree view status %d body:\n%s", tree.Code, tree.Body.String())
+	}
+
+	for _, bad := range []string{
+		"/debug/trace?trace=xyz",
+		"/debug/trace?min_dur_us=-1",
+		"/debug/trace?min_dur_us=abc",
+		"/debug/trace?limit=0",
+		"/debug/trace?view=sideways",
+	} {
+		if code := get(bad).Code; code != 400 {
+			t.Fatalf("%s: status %d, want 400", bad, code)
+		}
+	}
+}
+
+// TestConcurrentSpansAndDump races span recording — including the
+// attribute path — against ring snapshots and JSON dumps, for the race
+// detector.
+func TestConcurrentSpansAndDump(t *testing.T) {
+	tr := NewTracer(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := tr.Start("op")
+				s.SetAttr("g", "x")
+				s.SetAttrInt("i", int64(i))
+				c := s.Child("inner")
+				c.SetError(errors.New("e"))
+				c.End()
+				s.End()
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := tr.DumpJSON(&b); err != nil {
+			t.Error(err)
+		}
+		tr.Filtered(TraceFilter{Name: "op", Limit: 8})
+	}
+	wg.Wait()
+	if tr.Total() != 4*2*200 {
+		t.Fatalf("total = %d, want %d", tr.Total(), 4*2*200)
 	}
 }
 
@@ -111,4 +311,9 @@ func TestDefaultTracerAccessors(t *testing.T) {
 	if DefaultTracer().Total() != before+1 {
 		t.Fatal("StartSpan did not record on the default tracer")
 	}
+	rs := StartRemoteSpan("obs_test_remote_span", SpanContext{Trace: TraceID{1}, Span: 9})
+	if rs.Context().Trace != (TraceID{1}) {
+		t.Fatal("StartRemoteSpan did not adopt the propagated trace")
+	}
+	rs.End()
 }

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{Span: 0xdeadbeefcafe}
+	for i := range sc.Trace {
+		sc.Trace[i] = byte(i + 1)
+	}
+	tp := sc.Traceparent()
+	if len(tp) != TraceparentLen {
+		t.Fatalf("len(%q) = %d, want %d", tp, len(tp), TraceparentLen)
+	}
+	if !strings.HasPrefix(tp, "00-") || !strings.HasSuffix(tp, "-01") {
+		t.Fatalf("traceparent %q", tp)
+	}
+	got, ok := ParseTraceparent(tp)
+	if !ok || got != sc {
+		t.Fatalf("round trip: %+v ok=%v, want %+v", got, ok, sc)
+	}
+	gotB, ok := ParseTraceparentBytes([]byte(tp))
+	if !ok || gotB != sc {
+		t.Fatalf("bytes round trip: %+v ok=%v", gotB, ok)
+	}
+}
+
+func TestTraceparentRejectsMalformed(t *testing.T) {
+	valid := SpanContext{Trace: TraceID{0xab, 0xcd}, Span: 0xbeef}.Traceparent()
+	cases := map[string]string{
+		"empty":          "",
+		"short":          valid[:len(valid)-1],
+		"uppercase":      strings.ToUpper(valid),
+		"version ff":     "ff" + valid[2:],
+		"bad separator":  valid[:2] + "_" + valid[3:],
+		"zero trace":     "00-00000000000000000000000000000000-00000000000002-01",
+		"zero span":      "00-01000000000000000000000000000000-0000000000000000-01",
+		"nonhex trace":   "00-zz" + valid[5:],
+		"nonhex span":    valid[:36] + "zz" + valid[38:],
+		"nonhex flags":   valid[:53] + "zz",
+		"v00 with extra": valid + "-extra",
+		"glued extra":    valid + "extra",
+	}
+	for name, in := range cases {
+		if _, ok := ParseTraceparent(in); ok {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+	// A future version with '-'-separated extra data parses by prefix.
+	future := "42" + valid[2:] + "-deadbeef"
+	if sc, ok := ParseTraceparent(future); !ok || sc.Trace != (TraceID{0xab, 0xcd}) || sc.Span != 0xbeef {
+		t.Fatalf("future version rejected: %+v ok=%v", sc, ok)
+	}
+}
+
+func TestInjectExtract(t *testing.T) {
+	h := http.Header{}
+	sc := SpanContext{Trace: TraceID{0xab}, Span: 77}
+	Inject(sc, h)
+	got, ok := Extract(h)
+	if !ok || got != sc {
+		t.Fatalf("extract: %+v ok=%v, want %+v", got, ok, sc)
+	}
+
+	// Invalid contexts inject nothing; absent/garbage headers extract nothing.
+	empty := http.Header{}
+	Inject(SpanContext{}, empty)
+	if empty.Get(TraceparentHeader) != "" {
+		t.Fatal("invalid context injected a header")
+	}
+	if _, ok := Extract(empty); ok {
+		t.Fatal("extract from empty header succeeded")
+	}
+	empty.Set(TraceparentHeader, "garbage")
+	if _, ok := Extract(empty); ok {
+		t.Fatal("extract of garbage succeeded")
+	}
+}
+
+func TestTraceIDParseString(t *testing.T) {
+	id := NewTraceID()
+	back, err := ParseTraceID(id.String())
+	if err != nil || back != id {
+		t.Fatalf("round trip: %v %v", back, err)
+	}
+	for _, bad := range []string{"", "short", strings.Repeat("g", 32), strings.ToUpper(id.String())} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+	if NewTraceID() == id {
+		t.Fatal("two NewTraceID calls collided")
+	}
+}
+
+func TestAppendTraceparentReuse(t *testing.T) {
+	sc := SpanContext{Trace: TraceID{5}, Span: 6}
+	buf := make([]byte, 0, TraceparentLen)
+	buf = sc.AppendTraceparent(buf[:0])
+	if string(buf) != sc.Traceparent() {
+		t.Fatalf("append %q != %q", buf, sc.Traceparent())
+	}
+}
+
+// FuzzTraceparent checks that any accepted header re-encodes to a value
+// that parses back to the same context, and that parsing never panics on
+// arbitrary input.
+func FuzzTraceparent(f *testing.F) {
+	f.Add(SpanContext{Trace: TraceID{1, 2, 3}, Span: 42}.Traceparent())
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("ff-0102030405060708090a0b0c0d0e0f10-0102030405060708-01")
+	f.Add("00-0102030405060708090a0b0c0d0e0f10-0102030405060708-01-extra")
+	f.Add("garbage")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		sc, ok := ParseTraceparent(in)
+		scB, okB := ParseTraceparentBytes([]byte(in))
+		if ok != okB || sc != scB {
+			t.Fatalf("string/bytes parse disagree on %q: (%+v,%v) vs (%+v,%v)", in, sc, ok, scB, okB)
+		}
+		if !ok {
+			return
+		}
+		if !sc.Valid() {
+			t.Fatalf("accepted invalid context from %q", in)
+		}
+		re := sc.Traceparent()
+		sc2, ok2 := ParseTraceparent(re)
+		if !ok2 || sc2 != sc {
+			t.Fatalf("re-encode of %q -> %q does not round-trip", in, re)
+		}
+		h := http.Header{}
+		Inject(sc, h)
+		sc3, ok3 := Extract(h)
+		if !ok3 || sc3 != sc {
+			t.Fatalf("inject/extract of %q lost the context", in)
+		}
+	})
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Trace assembly: turning flat span dumps — possibly from several
+// processes — into per-trace trees. cmd/traceview merges coordinator and
+// worker dumps this way; ?view=tree on /debug/trace uses the same code
+// for a single process.
+
+// FlatSpan is one span normalized for merging: annotated with its source
+// process and placed on the absolute wall-clock timeline (StartUnixNS =
+// the dump's BaseUnixNS + the span's monotonic StartNS).
+type FlatSpan struct {
+	Proc        string
+	Trace       string
+	ID          uint64
+	Parent      uint64
+	Name        string
+	StartUnixNS int64
+	DurNS       int64
+	Err         string
+	Attrs       map[string]string
+}
+
+// EndUnixNS returns the span's absolute end time.
+func (s FlatSpan) EndUnixNS() int64 { return s.StartUnixNS + s.DurNS }
+
+// Flatten normalizes the dump's spans onto the absolute timeline,
+// annotated with the dump's process.
+func (d TraceDump) Flatten() []FlatSpan {
+	out := make([]FlatSpan, len(d.Spans))
+	for i, s := range d.Spans {
+		out[i] = FlatSpan{
+			Proc:        d.Proc,
+			Trace:       s.Trace,
+			ID:          s.ID,
+			Parent:      s.Parent,
+			Name:        s.Name,
+			StartUnixNS: d.BaseUnixNS + s.StartNS,
+			DurNS:       s.DurNS,
+			Err:         s.Err,
+			Attrs:       s.Attrs,
+		}
+	}
+	return out
+}
+
+// TraceNode is one span with its children, start-ordered.
+type TraceNode struct {
+	Span     FlatSpan
+	Children []*TraceNode
+	// Critical marks the node as on the trace's critical path: the chain
+	// from the root through, at each level, the child whose subtree ends
+	// last — the spans that determined the trace's wall-clock time.
+	Critical bool
+}
+
+// end returns the subtree's latest end time: a parent that returned
+// before an async child finished did not bound the trace.
+func (n *TraceNode) end() int64 {
+	e := n.Span.EndUnixNS()
+	for _, c := range n.Children {
+		if ce := c.end(); ce > e {
+			e = ce
+		}
+	}
+	return e
+}
+
+func (n *TraceNode) markCritical() {
+	n.Critical = true
+	var last *TraceNode
+	for _, c := range n.Children {
+		if last == nil || c.end() > last.end() {
+			last = c
+		}
+	}
+	if last != nil {
+		last.markCritical()
+	}
+}
+
+// TraceTree is one assembled trace: its id and its root spans. Spans
+// whose parent is missing from the dump (evicted from a ring, or a
+// process that was never scraped) surface as extra roots rather than
+// disappearing.
+type TraceTree struct {
+	Trace string
+	Roots []*TraceNode
+}
+
+// Start returns the trace's earliest span start.
+func (t TraceTree) Start() int64 {
+	if len(t.Roots) == 0 {
+		return 0
+	}
+	return t.Roots[0].Span.StartUnixNS
+}
+
+// AssembleTraces groups spans by trace id and links them into trees.
+// Traces are returned oldest first; untraced spans (no trace id, from
+// dumps predating trace propagation) are dropped. The critical path of
+// each tree is marked.
+func AssembleTraces(spans []FlatSpan) []TraceTree {
+	nodes := make(map[string]map[uint64]*TraceNode) // trace → span id → node
+	for _, s := range spans {
+		if s.Trace == "" {
+			continue
+		}
+		m := nodes[s.Trace]
+		if m == nil {
+			m = make(map[uint64]*TraceNode)
+			nodes[s.Trace] = m
+		}
+		m[s.ID] = &TraceNode{Span: s}
+	}
+	trees := make([]TraceTree, 0, len(nodes))
+	for trace, m := range nodes {
+		tree := TraceTree{Trace: trace}
+		for _, n := range m {
+			if p := m[n.Span.Parent]; n.Span.Parent != 0 && p != nil && p != n {
+				p.Children = append(p.Children, n)
+			} else {
+				tree.Roots = append(tree.Roots, n)
+			}
+		}
+		for _, n := range m {
+			sort.Slice(n.Children, func(i, j int) bool {
+				return byStart(n.Children[i].Span, n.Children[j].Span)
+			})
+		}
+		sort.Slice(tree.Roots, func(i, j int) bool {
+			return byStart(tree.Roots[i].Span, tree.Roots[j].Span)
+		})
+		for _, r := range tree.Roots {
+			r.markCritical()
+		}
+		trees = append(trees, tree)
+	}
+	sort.Slice(trees, func(i, j int) bool {
+		if trees[i].Start() != trees[j].Start() {
+			return trees[i].Start() < trees[j].Start()
+		}
+		return trees[i].Trace < trees[j].Trace
+	})
+	return trees
+}
+
+// byStart orders spans by start time, then id for determinism.
+func byStart(a, b FlatSpan) bool {
+	if a.StartUnixNS != b.StartUnixNS {
+		return a.StartUnixNS < b.StartUnixNS
+	}
+	return a.ID < b.ID
+}
+
+// WriteTraceText renders assembled traces as indented text timelines,
+// one block per trace. Each line shows offset from the trace start,
+// duration, name, source process, attributes and error; critical-path
+// spans are marked with '*'.
+func WriteTraceText(w io.Writer, trees []TraceTree) error {
+	_, err := w.Write(appendTraceText(nil, trees))
+	return err
+}
+
+func appendTraceText(dst []byte, trees []TraceTree) []byte {
+	for ti, tree := range trees {
+		if ti > 0 {
+			dst = append(dst, '\n')
+		}
+		dst = fmt.Appendf(dst, "trace %s\n", tree.Trace)
+		for _, r := range tree.Roots {
+			dst = appendNode(dst, r, tree.Start(), 0)
+		}
+	}
+	return dst
+}
+
+func appendNode(dst []byte, n *TraceNode, traceStart int64, depth int) []byte {
+	mark := byte(' ')
+	if n.Critical {
+		mark = '*'
+	}
+	dst = fmt.Appendf(dst, "%c %10s %10s  ", mark,
+		"+"+fmtDur(n.Span.StartUnixNS-traceStart), fmtDur(n.Span.DurNS))
+	for i := 0; i < depth; i++ {
+		dst = append(dst, "  "...)
+	}
+	dst = append(dst, n.Span.Name...)
+	if n.Span.Proc != "" {
+		dst = fmt.Appendf(dst, "  [%s]", n.Span.Proc)
+	}
+	for _, k := range sortedKeys(n.Span.Attrs) {
+		dst = fmt.Appendf(dst, " %s=%s", k, n.Span.Attrs[k])
+	}
+	if n.Span.Err != "" {
+		dst = fmt.Appendf(dst, "  ERR=%q", n.Span.Err)
+	}
+	dst = append(dst, '\n')
+	for _, c := range n.Children {
+		dst = appendNode(dst, c, traceStart, depth+1)
+	}
+	return dst
+}
+
+func sortedKeys(m map[string]string) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fmtDur renders nanoseconds at microsecond precision — span-timeline
+// scale, where nanosecond digits are noise.
+func fmtDur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoProcessDumps fabricates a coordinator dump and a worker dump sharing
+// one trace, the shape cmd/traceview merges.
+func twoProcessDumps() (TraceDump, TraceDump) {
+	trace := TraceID{9}.String()
+	coord := TraceDump{
+		Proc: "coord-1", BaseUnixNS: 1_000_000,
+		Spans: []SpanJSON{
+			{Trace: trace, ID: 1, Name: "sweep.coordinate", StartNS: 0, DurNS: 900},
+			{Trace: trace, ID: 2, Parent: 1, Name: "http.lease", StartNS: 100, DurNS: 50},
+		},
+	}
+	worker := TraceDump{
+		Proc: "worker-2", BaseUnixNS: 1_000_200, // clocks anchored differently
+		Spans: []SpanJSON{
+			{Trace: trace, ID: 7, Parent: 1, Name: "worker.cell", StartNS: 0, DurNS: 600,
+				Attrs: map[string]string{"cell": "3", "worker": "b"}},
+			{Trace: trace, ID: 8, Parent: 7, Name: "worker.trials", StartNS: 50, DurNS: 400,
+				Err: "boom"},
+		},
+	}
+	return coord, worker
+}
+
+func TestAssembleTracesMergesProcesses(t *testing.T) {
+	coord, worker := twoProcessDumps()
+	spans := append(coord.Flatten(), worker.Flatten()...)
+	trees := AssembleTraces(spans)
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees, want 1", len(trees))
+	}
+	tree := trees[0]
+	if len(tree.Roots) != 1 || tree.Roots[0].Span.Name != "sweep.coordinate" {
+		t.Fatalf("roots: %+v", tree.Roots)
+	}
+	root := tree.Roots[0]
+	if len(root.Children) != 2 {
+		t.Fatalf("root has %d children, want 2 (lease + remote cell)", len(root.Children))
+	}
+	// Children sorted by absolute start: lease at 1_000_100, cell at 1_000_200.
+	if root.Children[0].Span.Name != "http.lease" || root.Children[1].Span.Name != "worker.cell" {
+		t.Fatalf("child order: %s, %s", root.Children[0].Span.Name, root.Children[1].Span.Name)
+	}
+	cell := root.Children[1]
+	if cell.Span.Proc != "worker-2" {
+		t.Fatalf("cell proc %q", cell.Span.Proc)
+	}
+	if len(cell.Children) != 1 || cell.Children[0].Span.Name != "worker.trials" {
+		t.Fatalf("cell children: %+v", cell.Children)
+	}
+	// Critical path: root → cell (ends at 1_000_800, after lease's 1_000_150).
+	if !root.Critical || !cell.Critical || root.Children[0].Critical {
+		t.Fatalf("critical marks: root=%v lease=%v cell=%v",
+			root.Critical, root.Children[0].Critical, cell.Critical)
+	}
+}
+
+func TestAssembleTracesOrphansSurface(t *testing.T) {
+	trace := TraceID{3}.String()
+	d := TraceDump{Proc: "p", Spans: []SpanJSON{
+		{Trace: trace, ID: 4, Parent: 99, Name: "orphan", StartNS: 10, DurNS: 5},
+		{ID: 5, Name: "untraced", StartNS: 0, DurNS: 1}, // dropped
+	}}
+	trees := AssembleTraces(d.Flatten())
+	if len(trees) != 1 || len(trees[0].Roots) != 1 || trees[0].Roots[0].Span.Name != "orphan" {
+		t.Fatalf("trees: %+v", trees)
+	}
+}
+
+func TestWriteTraceText(t *testing.T) {
+	coord, worker := twoProcessDumps()
+	trees := AssembleTraces(append(coord.Flatten(), worker.Flatten()...))
+	var b strings.Builder
+	if err := WriteTraceText(&b, trees); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"trace " + TraceID{9}.String(),
+		"sweep.coordinate",
+		"worker.cell",
+		"[worker-2]",
+		"cell=3",
+		`ERR="boom"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The worker cell is on the critical path; the lease RPC is not.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "worker.cell") && !strings.HasPrefix(line, "*") {
+			t.Fatalf("worker.cell not marked critical:\n%s", out)
+		}
+		if strings.Contains(line, "http.lease") && strings.HasPrefix(line, "*") {
+			t.Fatalf("http.lease wrongly critical:\n%s", out)
+		}
+	}
+}

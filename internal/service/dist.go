@@ -67,6 +67,10 @@ type LeaseResponse struct {
 	CellsDone  int           `json:"cells_done"`
 	CellsTotal int           `json:"cells_total"`
 	Leases     []CellLease   `json:"leases,omitempty"`
+	// Trace is the coordinator's sweep-root trace context in traceparent
+	// form; workers parent their per-cell spans to it, stitching the
+	// distributed execution into one trace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // CompleteRequest is the body of POST /sweeps/{id}/cells.
@@ -139,6 +143,7 @@ func (m *Manager) LeaseCells(id, worker string, max int) (*LeaseResponse, error)
 		Request:    req,
 		CellsDone:  job.board.CellsDone(),
 		CellsTotal: job.cellsTotal,
+		Trace:      job.traceparent,
 	}
 	if resp.State.Terminal() {
 		return resp, nil
@@ -187,12 +192,12 @@ func (m *Manager) HeartbeatWorker(id, worker string) (*HeartbeatResponse, error)
 // done, the payload enters the result cache under the same key a local
 // run would use, and — when the manager persists checkpoints — the final
 // checkpoint hits disk through the synced writer.
-func (m *Manager) CompleteCell(id string, leaseID int64, cell sweep.Cell) (*CompleteResponse, error) {
+func (m *Manager) CompleteCell(id, worker string, leaseID int64, cell sweep.Cell) (*CompleteResponse, error) {
 	job, err := m.distJob(id)
 	if err != nil {
 		return nil, err
 	}
-	status, err := job.board.Complete(leaseID, cell, m.now())
+	status, err := job.board.Complete(leaseID, worker, cell, m.now())
 	if err != nil {
 		return nil, err
 	}
@@ -211,6 +216,17 @@ func (m *Manager) CompleteCell(id string, leaseID int64, cell sweep.Cell) (*Comp
 		CellsDone: job.board.CellsDone(),
 		Done:      job.board.Done(),
 	}, nil
+}
+
+// SweepTimeline returns the per-cell lifecycle event log of distributed
+// sweep id — who leased, heartbeat, expired and completed each cell,
+// with timestamps (GET /sweeps/{id}/timeline).
+func (m *Manager) SweepTimeline(id string) (shard.Timeline, error) {
+	job, err := m.distJob(id)
+	if err != nil {
+		return shard.Timeline{}, err
+	}
+	return job.board.Timeline(m.now()), nil
 }
 
 // persistCheckpoint writes the job's current checkpoint durably (synced

@@ -100,7 +100,7 @@ func TestDistributedSweepLifecycle(t *testing.T) {
 
 	// Complete cell 0; the sweep is half done and the partial checkpoint
 	// is already durable on disk.
-	cr, err := m.CompleteCell(job.ID(), resp.Leases[0].LeaseID, oracle.Cells[0])
+	cr, err := m.CompleteCell(job.ID(), "w", resp.Leases[0].LeaseID, oracle.Cells[0])
 	if err != nil || cr.Status != string(shard.Accepted) || cr.Done {
 		t.Fatalf("first completion → %+v, %v", cr, err)
 	}
@@ -114,12 +114,12 @@ func TestDistributedSweepLifecycle(t *testing.T) {
 	}
 
 	// A straggler re-reports cell 0 bit-identically: counted duplicate.
-	cr, err = m.CompleteCell(job.ID(), resp.Leases[0].LeaseID, oracle.Cells[0])
+	cr, err = m.CompleteCell(job.ID(), "w", resp.Leases[0].LeaseID, oracle.Cells[0])
 	if err != nil || cr.Status != string(shard.Duplicate) {
 		t.Fatalf("duplicate completion → %+v, %v", cr, err)
 	}
 
-	cr, err = m.CompleteCell(job.ID(), resp.Leases[1].LeaseID, oracle.Cells[1])
+	cr, err = m.CompleteCell(job.ID(), "w", resp.Leases[1].LeaseID, oracle.Cells[1])
 	if err != nil || cr.Status != string(shard.Accepted) || !cr.Done {
 		t.Fatalf("final completion → %+v, %v", cr, err)
 	}
@@ -213,7 +213,7 @@ func TestDistributedExpiryReLease(t *testing.T) {
 		t.Fatalf("view.Shard.Expired = %d, want 1", v.Shard.Expired)
 	}
 	for _, cell := range oracle.Cells {
-		if _, err := m.CompleteCell(job.ID(), 0, cell); err != nil {
+		if _, err := m.CompleteCell(job.ID(), "w", 0, cell); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -248,7 +248,7 @@ func TestDistributedCancel(t *testing.T) {
 		t.Fatalf("lease after cancel → %+v, %v", after, err)
 	}
 	oracle := runLocally(t, req)
-	if _, err := m.CompleteCell(job.ID(), lr.Leases[0].LeaseID, oracle.Cells[0]); !errors.Is(err, shard.ErrClosed) {
+	if _, err := m.CompleteCell(job.ID(), "w", lr.Leases[0].LeaseID, oracle.Cells[0]); !errors.Is(err, shard.ErrClosed) {
 		t.Fatalf("complete after cancel → %v, want ErrClosed", err)
 	}
 	if _, err := m.HeartbeatWorker(job.ID(), "w1"); err != nil {

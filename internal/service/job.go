@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -44,6 +45,13 @@ type Job struct {
 	// manager.
 	board *shard.Board
 	nowFn func() time.Time
+
+	// span is the sweep's root trace span for distributed sweeps (zero —
+	// a no-op — otherwise), opened at submit and ended at settle;
+	// traceparent is its serialized context, handed to workers in every
+	// LeaseResponse so their per-cell spans stitch under it.
+	span        obs.Span
+	traceparent string
 
 	trials atomic.Int64 // completed Monte-Carlo trials, updated live
 	ctx    context.Context

@@ -359,6 +359,13 @@ func (m *Manager) settle(job *Job, state State, payload *Payload, errMsg string)
 	job.err = errMsg
 	job.finished = m.now()
 	job.mu.Unlock()
+	// Close the sweep's root trace span (a no-op for jobs without one).
+	// settle is the single terminal point, so the span ends exactly once.
+	job.span.SetAttr("state", string(state))
+	if errMsg != "" {
+		job.span.SetError(errors.New(errMsg))
+	}
+	job.span.End()
 	countSettled(state)
 	switch state {
 	case StateDone:

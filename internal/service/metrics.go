@@ -48,6 +48,11 @@ func countSettled(state State) {
 // route pattern is resolved via mux.Handler (without dispatching), so
 // /jobs/j17 and /jobs/j18 share one series instead of exploding the label
 // space. Unmatched requests are grouped under "unmatched".
+//
+// It is also the tracing ingress: a request carrying a traceparent header
+// gets a server span stitched under the caller's context. Requests
+// without one — health probes, scrapes, humans — record no span, so the
+// ring holds traced work instead of poll noise.
 func instrumentHTTP(mux *http.ServeMux) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		_, pattern := mux.Handler(r)
@@ -56,7 +61,18 @@ func instrumentHTTP(mux *http.ServeMux) http.Handler {
 		}
 		rec := obs.NewResponseRecorder(w)
 		start := time.Now()
+		sc, traced := obs.Extract(r.Header)
+		var span obs.Span // zero span: End is a no-op
+		if traced {
+			span = obs.StartRemoteSpan("http.server", sc)
+			span.SetAttr("path", pattern)
+			span.SetAttr("method", r.Method)
+		}
 		mux.ServeHTTP(rec, r)
+		if traced {
+			span.SetAttrInt("status", int64(rec.Status()))
+		}
+		span.End()
 		obsHTTPDuration.With(pattern).ObserveSince(start)
 		obsHTTPRequests.With(pattern, r.Method, strconv.Itoa(rec.Status())).Inc()
 	})

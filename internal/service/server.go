@@ -40,6 +40,7 @@ type ExperimentInfo struct {
 //	POST   /sweeps/{id}/cells          distributed sweeps: report a completed cell
 //	POST   /sweeps/{id}/heartbeat      distributed sweeps: extend a worker's leases
 //	GET    /sweeps/{id}/checkpoint     distributed sweeps: current checkpoint (partial mid-run)
+//	GET    /sweeps/{id}/timeline       distributed sweeps: per-cell lease/expiry/completion event log
 //
 // Sweep jobs share the job id space, the worker pool and the result
 // cache with experiment jobs, so /jobs/{id} and cancel work on them too;
@@ -258,7 +259,7 @@ func NewHandlerWith(m *Manager, qe *QueryEngine) http.Handler {
 		if !decodeBody(w, r, DefaultMaxBodySize, &req) {
 			return
 		}
-		resp, err := m.CompleteCell(r.PathValue("id"), req.LeaseID, req.Cell)
+		resp, err := m.CompleteCell(r.PathValue("id"), req.Worker, req.LeaseID, req.Cell)
 		if err != nil {
 			distErr(w, err)
 			return
@@ -288,6 +289,15 @@ func NewHandlerWith(m *Manager, qe *QueryEngine) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		job.board.Checkpoint().Encode(w)
+	})
+
+	mux.HandleFunc("GET /sweeps/{id}/timeline", func(w http.ResponseWriter, r *http.Request) {
+		tl, err := m.SweepTimeline(r.PathValue("id"))
+		if err != nil {
+			distErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, tl)
 	})
 
 	cancel := func(w http.ResponseWriter, r *http.Request) {

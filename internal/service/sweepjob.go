@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/sweep"
 	"repro/internal/table"
@@ -181,11 +182,19 @@ func (m *Manager) SubmitSweep(req SweepRequest) (*Job, error) {
 		// Coordinator mode: no pool worker runs this job. It goes straight
 		// to running with an open lease table; remote workers pull cells
 		// and the job settles when the last result lands (CompleteCell) or
-		// on Cancel.
+		// on Cancel. The root span opened here is the sweep's whole trace:
+		// its context rides every LeaseResponse, so worker-side cell spans
+		// land under it and cmd/traceview can reassemble the distributed
+		// timeline.
 		job.state = StateRunning
 		job.started = m.now()
 		job.board = shard.New(req.Spec().SpecKey(), job.cellsTotal, m.opts.LeaseTTL)
 		job.nowFn = m.now
+		span := obs.StartSpan("sweep.coordinate")
+		span.SetAttr("sweep", job.id)
+		span.SetAttrInt("cells", int64(job.cellsTotal))
+		job.span = span
+		job.traceparent = span.Context().Traceparent()
 		m.register(job)
 		return job, nil
 	}

@@ -87,6 +87,12 @@ type Board struct {
 	dups    uint64
 	workers map[string]bool // workers ever seen, for join accounting
 	closed  bool
+
+	// Bounded lifecycle event log behind GET /sweeps/{id}/timeline; see
+	// events.go.
+	events  []Event
+	evNext  int
+	evTotal uint64
 }
 
 // New builds a board of size cells for the sweep with the given spec
@@ -133,6 +139,7 @@ func (b *Board) expire(now time.Time) {
 			b.pending = append(b.pending, l.index)
 			b.expired++
 			obsLeaseExpired.Inc()
+			b.record(Event{Time: now, Kind: EventExpired, Cell: l.index, Worker: l.worker, Lease: id})
 		}
 	}
 }
@@ -170,6 +177,7 @@ func (b *Board) Lease(worker string, max int, now time.Time) ([]Lease, error) {
 		out = append(out, Lease{ID: l.id, Index: idx, Expires: l.expires})
 		obsLeaseGranted.Inc()
 		obsLeasesActive.Add(1)
+		b.record(Event{Time: now, Kind: EventLeased, Cell: idx, Worker: worker, Lease: l.id})
 	}
 	return out, nil
 }
@@ -192,6 +200,7 @@ func (b *Board) Heartbeat(worker string, now time.Time) (int, error) {
 		}
 	}
 	obsHeartbeats.Inc()
+	b.record(Event{Time: now, Kind: EventHeartbeat, Cell: -1, Worker: worker, Extended: extended})
 	return extended, nil
 }
 
@@ -207,12 +216,13 @@ const (
 	Duplicate CompleteStatus = "duplicate"
 )
 
-// Complete records a finished cell. First completed result wins; the
-// lease need not still be live (a straggler's late result is as good as
-// any — the cell is deterministic). Returns Duplicate when the cell was
-// already done and the results agree, ErrMismatch when they do not, and
-// ErrBadCell when the index does not fit the grid.
-func (b *Board) Complete(leaseID int64, cell sweep.Cell, now time.Time) (CompleteStatus, error) {
+// Complete records a finished cell reported by worker. First completed
+// result wins; the lease need not still be live (a straggler's late
+// result is as good as any — the cell is deterministic). Returns
+// Duplicate when the cell was already done and the results agree,
+// ErrMismatch when they do not, and ErrBadCell when the index does not
+// fit the grid.
+func (b *Board) Complete(leaseID int64, worker string, cell sweep.Cell, now time.Time) (CompleteStatus, error) {
 	enc, err := json.Marshal(cell)
 	if err != nil {
 		return "", fmt.Errorf("shard: encoding cell %d: %w", cell.Index, err)
@@ -246,8 +256,10 @@ func (b *Board) Complete(leaseID int64, cell sweep.Cell, now time.Time) (Complet
 		obsDuplicateCells.Inc()
 		if string(enc) != string(c.enc) {
 			obsResultMismatch.Inc()
+			b.record(Event{Time: now, Kind: EventMismatch, Cell: cell.Index, Worker: worker, Lease: leaseID})
 			return "", fmt.Errorf("%w: cell %d got %s, accepted %s", ErrMismatch, cell.Index, enc, c.enc)
 		}
+		b.record(Event{Time: now, Kind: EventDuplicate, Cell: cell.Index, Worker: worker, Lease: leaseID})
 		return Duplicate, nil
 	}
 	c.phase = cellDone
@@ -255,6 +267,7 @@ func (b *Board) Complete(leaseID int64, cell sweep.Cell, now time.Time) (Complet
 	c.enc = enc
 	b.done++
 	obsCellsAccepted.Inc()
+	b.record(Event{Time: now, Kind: EventCompleted, Cell: cell.Index, Worker: worker, Lease: leaseID})
 	return Accepted, nil
 }
 
@@ -324,6 +337,7 @@ func (b *Board) Close() {
 		return
 	}
 	b.closed = true
+	b.record(Event{Time: time.Now(), Kind: EventClosed, Cell: -1})
 	obsLeasesActive.Add(-int64(len(b.leases)))
 	for _, l := range b.leases {
 		if c := &b.cells[l.index]; c.phase == cellLeased {

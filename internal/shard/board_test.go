@@ -36,7 +36,7 @@ func TestLeaseGrantAndComplete(t *testing.T) {
 		t.Fatalf("lease order %v, want cells 0,1 first", leases)
 	}
 	for _, l := range leases {
-		st, err := b.Complete(l.ID, mkCell(l.Index, 0.5), c.now())
+		st, err := b.Complete(l.ID, "w", mkCell(l.Index, 0.5), c.now())
 		if err != nil || st != Accepted {
 			t.Fatalf("complete %d → %v, %v", l.Index, st, err)
 		}
@@ -48,7 +48,7 @@ func TestLeaseGrantAndComplete(t *testing.T) {
 	if len(rest) != 1 || rest[0].Index != 2 {
 		t.Fatalf("remaining lease %v, want cell 2", rest)
 	}
-	if _, err := b.Complete(rest[0].ID, mkCell(2, 1), c.now()); err != nil {
+	if _, err := b.Complete(rest[0].ID, "w", mkCell(2, 1), c.now()); err != nil {
 		t.Fatal(err)
 	}
 	if !b.Done() || b.CellsDone() != 3 {
@@ -105,7 +105,7 @@ func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
 	if stolen, _ := b.Lease("w2", 1, c.advance(30*time.Second)); len(stolen) != 0 {
 		t.Fatalf("heartbeated lease stolen: %v", stolen)
 	}
-	if st, err := b.Complete(l1[0].ID, mkCell(0, 1), c.now()); err != nil || st != Accepted {
+	if st, err := b.Complete(l1[0].ID, "w", mkCell(0, 1), c.now()); err != nil || st != Accepted {
 		t.Fatalf("complete after heartbeat → %v, %v", st, err)
 	}
 	// Heartbeat from a worker holding nothing extends nothing, no error.
@@ -129,7 +129,7 @@ func TestWorkerDeathMidCell(t *testing.T) {
 		t.Fatalf("survivor leased %d cells, want 2", len(live))
 	}
 	for _, l := range live {
-		if _, err := b.Complete(l.ID, mkCell(l.Index, 0.25), c.now()); err != nil {
+		if _, err := b.Complete(l.ID, "w", mkCell(l.Index, 0.25), c.now()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -138,7 +138,7 @@ func TestWorkerDeathMidCell(t *testing.T) {
 	}
 	// The dead worker's result limps in with a long-expired lease id:
 	// bit-identical, so it's a counted duplicate, not an error.
-	st, err := b.Complete(dead[0].ID, mkCell(dead[0].Index, 0.25), c.now())
+	st, err := b.Complete(dead[0].ID, "w", mkCell(dead[0].Index, 0.25), c.now())
 	if err != nil || st != Duplicate {
 		t.Fatalf("late duplicate → %v, %v", st, err)
 	}
@@ -156,10 +156,10 @@ func TestDuplicateMismatchRejected(t *testing.T) {
 	c := newClk()
 	b := New("s", 1, time.Minute)
 	l1, _ := b.Lease("w1", 1, c.now())
-	if _, err := b.Complete(l1[0].ID, mkCell(0, 0.5), c.now()); err != nil {
+	if _, err := b.Complete(l1[0].ID, "w", mkCell(0, 0.5), c.now()); err != nil {
 		t.Fatal(err)
 	}
-	_, err := b.Complete(l1[0].ID, mkCell(0, 0.75), c.now())
+	_, err := b.Complete(l1[0].ID, "w", mkCell(0, 0.75), c.now())
 	if !errors.Is(err, ErrMismatch) {
 		t.Fatalf("mismatched duplicate → %v, want ErrMismatch", err)
 	}
@@ -171,7 +171,7 @@ func TestCompleteOutOfRange(t *testing.T) {
 	c := newClk()
 	b := New("s", 2, time.Minute)
 	for _, idx := range []int{-1, 2, 99} {
-		if _, err := b.Complete(0, mkCell(idx, 1), c.now()); !errors.Is(err, ErrBadCell) {
+		if _, err := b.Complete(0, "w", mkCell(idx, 1), c.now()); !errors.Is(err, ErrBadCell) {
 			t.Fatalf("index %d → %v, want ErrBadCell", idx, err)
 		}
 	}
@@ -192,10 +192,10 @@ func TestLateResultFirstWins(t *testing.T) {
 	if len(l2) != 1 {
 		t.Fatal("no re-lease after expiry")
 	}
-	if st, err := b.Complete(l1[0].ID, mkCell(0, 1), c.now()); err != nil || st != Accepted {
+	if st, err := b.Complete(l1[0].ID, "w", mkCell(0, 1), c.now()); err != nil || st != Accepted {
 		t.Fatalf("late first result → %v, %v", st, err)
 	}
-	if st, err := b.Complete(l2[0].ID, mkCell(0, 1), c.now()); err != nil || st != Duplicate {
+	if st, err := b.Complete(l2[0].ID, "w", mkCell(0, 1), c.now()); err != nil || st != Duplicate {
 		t.Fatalf("re-leased holder's result → %v, %v", st, err)
 	}
 	if !b.Done() {
@@ -215,7 +215,7 @@ func TestCloseRejectsEverything(t *testing.T) {
 	if _, err := b.Heartbeat("w1", c.now()); !errors.Is(err, ErrClosed) {
 		t.Fatalf("heartbeat after close → %v", err)
 	}
-	if _, err := b.Complete(l1[0].ID, mkCell(0, 1), c.now()); !errors.Is(err, ErrClosed) {
+	if _, err := b.Complete(l1[0].ID, "w", mkCell(0, 1), c.now()); !errors.Is(err, ErrClosed) {
 		t.Fatalf("complete after close → %v", err)
 	}
 }
@@ -228,7 +228,7 @@ func TestCheckpointResumable(t *testing.T) {
 	b := New(spec, 3, time.Minute)
 	leases, _ := b.Lease("w1", 2, c.now())
 	for _, l := range leases {
-		if _, err := b.Complete(l.ID, mkCell(l.Index, 0), c.now()); err != nil {
+		if _, err := b.Complete(l.ID, "w", mkCell(l.Index, 0), c.now()); err != nil {
 			t.Fatal(err)
 		}
 	}

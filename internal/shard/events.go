@@ -1,0 +1,103 @@
+package shard
+
+import "time"
+
+// Per-cell lifecycle event log: every lease grant, straggler reclaim,
+// completion and heartbeat lands in a bounded in-memory log, so
+// GET /sweeps/{id}/timeline can answer "which worker held cell 7, and
+// when did its lease die?" after the fact. The log is observability, not
+// state — the lease table never reads it back.
+
+// EventKind is one kind of cell lifecycle transition.
+type EventKind string
+
+const (
+	// EventLeased: a cell was granted to a worker.
+	EventLeased EventKind = "leased"
+	// EventHeartbeat: a worker extended its leases (one event per
+	// heartbeat, Cell = -1, Extended = leases touched — per-cell events
+	// would flood the log at TTL/3 cadence).
+	EventHeartbeat EventKind = "heartbeat"
+	// EventExpired: a lease passed its TTL and the cell returned to the
+	// pending queue.
+	EventExpired EventKind = "expired"
+	// EventCompleted: a cell's first result was accepted.
+	EventCompleted EventKind = "completed"
+	// EventDuplicate: a result for an already-done cell arrived and
+	// matched the accepted bits.
+	EventDuplicate EventKind = "duplicate"
+	// EventMismatch: a duplicate result differed from the accepted bits —
+	// the determinism alarm.
+	EventMismatch EventKind = "mismatch"
+	// EventClosed: the board was closed (sweep cancelled); Cell = -1.
+	EventClosed EventKind = "closed"
+)
+
+// Event is one recorded transition.
+type Event struct {
+	// Seq is the event's 1-based position in the board's full history;
+	// gaps at the front of a timeline mean the log wrapped.
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	Kind EventKind `json:"kind"`
+	// Cell is the grid cell index, -1 for board- or worker-level events.
+	Cell   int    `json:"cell"`
+	Worker string `json:"worker,omitempty"`
+	Lease  int64  `json:"lease,omitempty"`
+	// Extended is the lease count a heartbeat touched.
+	Extended int `json:"extended,omitempty"`
+}
+
+// maxBoardEvents bounds the per-board log. A 1000-cell sweep with a few
+// re-leases writes ~2-3k events; 16384 keeps whole sweeps while capping
+// a pathological board at ~1.5 MiB.
+const maxBoardEvents = 16384
+
+// record appends an event; callers hold b.mu.
+func (b *Board) record(e Event) {
+	b.evTotal++
+	e.Seq = b.evTotal
+	if len(b.events) < maxBoardEvents {
+		b.events = append(b.events, e)
+		return
+	}
+	b.events[b.evNext] = e
+	b.evNext++
+	if b.evNext == maxBoardEvents {
+		b.evNext = 0
+	}
+}
+
+// Timeline is the JSON document GET /sweeps/{id}/timeline serves.
+type Timeline struct {
+	Spec string `json:"spec"`
+	// Total counts events ever recorded; Dropped how many of the oldest
+	// were overwritten by the bounded log.
+	Total   uint64  `json:"events_total"`
+	Dropped uint64  `json:"events_dropped"`
+	Events  []Event `json:"events"`
+}
+
+// Timeline snapshots the event log, oldest retained event first,
+// reclaiming due stragglers first so an expiry never hides behind a
+// missing poll.
+func (b *Board) Timeline(now time.Time) Timeline {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.closed {
+		b.expire(now)
+	}
+	out := make([]Event, 0, len(b.events))
+	if len(b.events) == maxBoardEvents {
+		out = append(out, b.events[b.evNext:]...)
+		out = append(out, b.events[:b.evNext]...)
+	} else {
+		out = append(out, b.events...)
+	}
+	return Timeline{
+		Spec:    b.spec,
+		Total:   b.evTotal,
+		Dropped: b.evTotal - uint64(len(out)),
+		Events:  out,
+	}
+}

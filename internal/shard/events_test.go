@@ -1,0 +1,115 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimelineRecordsCellLifecycle(t *testing.T) {
+	c := newClk()
+	b := New("spec-t", 2, time.Minute)
+
+	// w1 leases both cells, completes one, then dies; after TTL its other
+	// lease expires and w2 reclaims and finishes the cell.
+	leases, err := b.Lease("w1", 2, c.now())
+	if err != nil || len(leases) != 2 {
+		t.Fatalf("lease: %v %v", leases, err)
+	}
+	if _, err := b.Complete(leases[0].ID, "w1", mkCell(0, 0.5), c.now()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Heartbeat("w1", c.advance(10*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	c.advance(2 * time.Minute)
+	release, err := b.Lease("w2", 2, c.now())
+	if err != nil || len(release) != 1 || release[0].Index != 1 {
+		t.Fatalf("re-lease: %v %v", release, err)
+	}
+	if _, err := b.Complete(release[0].ID, "w2", mkCell(1, 0.25), c.now()); err != nil {
+		t.Fatal(err)
+	}
+	// A straggler duplicate of cell 0, bit-identical.
+	if _, err := b.Complete(leases[0].ID, "w2", mkCell(0, 0.5), c.now()); err != nil {
+		t.Fatal(err)
+	}
+
+	tl := b.Timeline(c.now())
+	if tl.Spec != "spec-t" || tl.Dropped != 0 {
+		t.Fatalf("timeline header: %+v", tl)
+	}
+	wantKinds := []EventKind{
+		EventLeased, EventLeased, // w1 takes cells 0,1
+		EventCompleted, // cell 0 by w1
+		EventHeartbeat, // w1 heartbeat
+		EventExpired,   // w1's cell-1 lease dies
+		EventLeased,    // w2 reclaims cell 1
+		EventCompleted, // cell 1 by w2
+		EventDuplicate, // straggler result for cell 0
+	}
+	if len(tl.Events) != len(wantKinds) {
+		t.Fatalf("got %d events, want %d: %+v", len(tl.Events), len(wantKinds), tl.Events)
+	}
+	for i, e := range tl.Events {
+		if e.Kind != wantKinds[i] {
+			t.Fatalf("event %d kind %q, want %q (%+v)", i, e.Kind, wantKinds[i], tl.Events)
+		}
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d seq %d, want %d", i, e.Seq, i+1)
+		}
+		if e.Time.IsZero() {
+			t.Fatalf("event %d has no timestamp", i)
+		}
+	}
+	exp := tl.Events[4]
+	if exp.Cell != 1 || exp.Worker != "w1" {
+		t.Fatalf("expired event attribution: %+v", exp)
+	}
+	if hb := tl.Events[3]; hb.Cell != -1 || hb.Worker != "w1" || hb.Extended != 1 {
+		t.Fatalf("heartbeat event: %+v", hb)
+	}
+	if dup := tl.Events[7]; dup.Worker != "w2" || dup.Cell != 0 {
+		t.Fatalf("duplicate event: %+v", dup)
+	}
+}
+
+func TestTimelineWrapsBounded(t *testing.T) {
+	c := newClk()
+	b := New("spec-w", 1, time.Minute)
+	// One lease + completion, then hammer heartbeats past the cap.
+	l, _ := b.Lease("w", 1, c.now())
+	if _, err := b.Complete(l[0].ID, "w", mkCell(0, 1), c.now()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxBoardEvents+10; i++ {
+		if _, err := b.Heartbeat("w", c.now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tl := b.Timeline(c.now())
+	if len(tl.Events) != maxBoardEvents {
+		t.Fatalf("retained %d events, want %d", len(tl.Events), maxBoardEvents)
+	}
+	if tl.Total != uint64(maxBoardEvents+12) || tl.Dropped != 12 {
+		t.Fatalf("total=%d dropped=%d", tl.Total, tl.Dropped)
+	}
+	// Oldest-first after wrap: sequences are contiguous ascending.
+	for i := 1; i < len(tl.Events); i++ {
+		if tl.Events[i].Seq != tl.Events[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seq at %d: %d then %d", i, tl.Events[i-1].Seq, tl.Events[i].Seq)
+		}
+	}
+	if tl.Events[0].Seq != 13 {
+		t.Fatalf("first retained seq %d, want 13", tl.Events[0].Seq)
+	}
+}
+
+func TestTimelineRecordsClose(t *testing.T) {
+	b := New("spec-c", 1, time.Minute)
+	b.Close()
+	b.Close() // idempotent, one event
+	tl := b.Timeline(time.Now())
+	if len(tl.Events) != 1 || tl.Events[0].Kind != EventClosed || tl.Events[0].Cell != -1 {
+		t.Fatalf("close events: %+v", tl.Events)
+	}
+}
