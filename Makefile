@@ -9,7 +9,7 @@ BENCHTIME ?= 1s
 # if the tree drops below it. Raise it when coverage durably improves.
 COVER_MIN ?= 84.0
 
-.PHONY: all build test test-race cover vet fmt bench bench-diff clean
+.PHONY: all build test test-race cover vet fmt bench bench-diff lint-docs clean
 
 all: build test
 
@@ -57,6 +57,13 @@ bench:
 # changes with: make bench && cp BENCH_kernels.json testdata/bench_baseline.json
 bench-diff:
 	$(GO) run ./cmd/benchdiff -baseline testdata/bench_baseline.json BENCH_kernels.json
+
+# lint-docs is the documentation gate CI runs alongside vet: every
+# internal/* package must keep its package comment in a dedicated doc.go,
+# and every relative markdown link in README.md and docs/*.md must
+# resolve.
+lint-docs:
+	$(GO) run ./cmd/docslint
 
 clean:
 	rm -f bench.txt BENCH_kernels.json cover.out

@@ -3,7 +3,7 @@ package repro
 // Repository-level benchmarks: one per experiment (regenerating the
 // corresponding table/figure at quick scale and reporting its headline
 // metric via b.ReportMetric) plus micro-benchmarks of the kernels every
-// experiment leans on. EXPERIMENTS.md records the full-scale outputs.
+// experiment leans on.
 
 import (
 	"context"
@@ -454,8 +454,11 @@ func sweepCellBench(b *testing.B, m avail.Model, g *graph.Graph, batched bool) {
 		}
 		return 0
 	}
+	// The substrate StaticReach shortcut mirrors SweepTarget.Source: it
+	// applies only to fixed-substrate models — scenario trials run on a
+	// per-trial support graph, so they answer the serial treach question.
 	var sr *temporal.StaticReach
-	if batched {
+	if batched && !avail.IsScenario(m) {
 		sr = temporal.NewStaticReach(g)
 	}
 	trials := 0
@@ -470,6 +473,9 @@ func sweepCellBench(b *testing.B, m avail.Model, g *graph.Graph, batched bool) {
 			br := sim.BatchRunner{Model: m, Substrate: g, Seed: seed}
 			est, err = a.EstimateSource(context.Background(), func(ctx context.Context, start, count int) ([]float64, error) {
 				return br.ObserveFrom(ctx, start, count, func(trial int, net *temporal.Network, r *rng.Stream) float64 {
+					if sr == nil {
+						return treach(trial, net, r)
+					}
 					if temporal.SatisfiesTreachStatic(net, sr, nil) {
 						return 1
 					}
@@ -529,6 +535,63 @@ func BenchmarkSweepBatchedIIDGnp(b *testing.B) {
 	m, g := sweepBenchGnp(b)
 	sweepCellBench(b, m, g, true)
 }
+
+// sweepGeomCellBench is the mobility cell: the E17 full-size configuration
+// (n = 100 torus walkers, lifetime 64, auto radius) driven to the same
+// fixed 256-trial budget. The rebuild arm draws every trial's support
+// graph, labels and indexes from scratch (avail.Network); the batched arm
+// runs the incremental engine — persistent grid buckets in the scenario
+// state, then ScenarioState + RelabelEdges topology patches on a
+// worker-owned network. The observable is a single-source earliest-arrival
+// sweep, cheap relative to instance construction, so the ratio gauges the
+// two engines rather than a measurement kernel both arms share.
+func sweepGeomCellBench(b *testing.B, batched bool) {
+	b.Helper()
+	m, err := avail.Build("geometric", avail.Params{Lifetime: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.Clique(100, false) // scenario models use only the vertex count
+	prec := sweep.Precision{Abs: 1e-9, MaxTrials: 256, Batch: 64}
+	reach := func(net *temporal.Network, arr []int32) float64 {
+		if net.EarliestArrivalsInto(0, arr) == len(arr) {
+			return 1
+		}
+		return 0
+	}
+	trials := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		a := sweep.Adaptive{Seed: seed, Kind: sweep.Proportion, Prec: prec}
+		var est sweep.Estimate
+		var err error
+		if batched {
+			br := sim.BatchRunner{Model: m, Substrate: g, Seed: seed}
+			est, err = a.EstimateSource(context.Background(), func(ctx context.Context, start, count int) ([]float64, error) {
+				return br.ObserveFrom(ctx, start, count, func(trial int, net *temporal.Network, r *rng.Stream) float64 {
+					return reach(net, make([]int32, g.N()))
+				})
+			})
+		} else {
+			runner := sim.Runner{Seed: seed}
+			est, err = a.EstimateSource(context.Background(), func(ctx context.Context, start, count int) ([]float64, error) {
+				return runner.ScalarsFromContext(ctx, start, count, func(trial int, r *rng.Stream) float64 {
+					return reach(avail.Network(m, g, r), make([]int32, g.N()))
+				})
+			})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		trials += est.N
+	}
+	b.ReportMetric(float64(trials)/float64(b.N), "trials/op")
+}
+
+func BenchmarkSweepRebuildGeometric(b *testing.B) { sweepGeomCellBench(b, false) }
+func BenchmarkSweepBatchedGeometric(b *testing.B) { sweepGeomCellBench(b, true) }
 
 // --- observability micro-benchmarks -------------------------------------
 //

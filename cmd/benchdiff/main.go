@@ -4,9 +4,11 @@
 // benchmark regressed.
 //
 // Gated benchmarks are the ones whose stripped name starts with one of
-// the comma-separated -gate prefixes (default "Kernel,Obs,Query", i.e. the
-// BenchmarkKernel*, BenchmarkObs* and BenchmarkQuery* families). A gated benchmark fails
-// when
+// the comma-separated -gate prefixes (default "Kernel,Obs,Query,SweepBatched",
+// i.e. the BenchmarkKernel*, BenchmarkObs* and BenchmarkQuery* families plus
+// the BenchmarkSweepBatched* engine benchmarks — the batched trial engine is
+// a headline optimization, so its cell throughput and allocation counts are
+// regression-gated alongside the kernels). A gated benchmark fails when
 //
 //   - its ns/op grew by more than -max-ns-regress (default 0.30 = +30%)
 //     over the baseline, or
@@ -60,7 +62,7 @@ type Report struct {
 var (
 	baselinePath = flag.String("baseline", "testdata/bench_baseline.json", "baseline BENCH_kernels.json to compare against")
 	maxNsRegress = flag.Float64("max-ns-regress", 0.30, "maximum tolerated fractional ns/op growth on gated benchmarks")
-	gatePrefix   = flag.String("gate", "Kernel,Obs,Query", "comma-separated benchmark-name prefixes (after the Benchmark prefix is stripped) that are gated")
+	gatePrefix   = flag.String("gate", "Kernel,Obs,Query,SweepBatched", "comma-separated benchmark-name prefixes (after the Benchmark prefix is stripped) that are gated")
 )
 
 // gatedBy reports whether name starts with any of the comma-separated

@@ -92,4 +92,13 @@ func TestDiffMultiPrefixGate(t *testing.T) {
 	if !gatedBy("QueryIndexHitFull", "Kernel,Obs,Query") || gatedBy("QueryIndexHitFull", "Kernel,Obs") {
 		t.Fatal("Query gating wrong")
 	}
+	// The default gate covers the batched sweep engine but not the rebuild
+	// oracles or the adaptive-estimator wall-clock benchmarks.
+	const def = "Kernel,Obs,Query,SweepBatched"
+	if !gatedBy("SweepBatchedGeometric", def) || !gatedBy("SweepBatchedIIDClique", def) {
+		t.Fatal("SweepBatched gating wrong")
+	}
+	if gatedBy("SweepRebuildGeometric", def) || gatedBy("SweepAdaptiveOverhead", def) {
+		t.Fatal("non-batched sweep benchmarks must stay ungated")
+	}
 }

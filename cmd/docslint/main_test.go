@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write creates path (and parents) under dir with the given content.
+func write(t *testing.T, dir, path, content string) {
+	t.Helper()
+	full := filepath.Join(dir, filepath.FromSlash(path))
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckDocGo(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "internal/good/doc.go", "// Package good.\npackage good\n")
+	write(t, dir, "internal/good/good.go", "package good\n")
+	write(t, dir, "internal/bad/bad.go", "package bad\n")
+	write(t, dir, "internal/bad/testdata/fixture.go", "package fixture\n")
+	write(t, dir, "internal/empty/notes.txt", "no go files here\n")
+
+	problems, err := checkDocGo(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], filepath.Join("internal", "bad")) {
+		t.Fatalf("want exactly the internal/bad violation, got %v", problems)
+	}
+}
+
+func TestCheckLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "exists.md", "target\n")
+	write(t, dir, "docs/arch.md", strings.Join([]string{
+		"[up](../exists.md)",           // ok: relative with ..
+		"[frag](../exists.md#section)", // ok: fragment stripped
+		"[dir](..)",                    // ok: directory target
+		"[ext](https://example.com/x)", // skipped: external
+		"[anchor](#local)",             // skipped: in-page
+		"[gone](missing.md)",           // broken
+	}, "\n"))
+
+	problems, err := checkLinks(dir, filepath.Join(dir, "docs", "arch.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "missing.md") {
+		t.Fatalf("want exactly the missing.md violation, got %v", problems)
+	}
+	if !strings.Contains(problems[0], "arch.md:6") {
+		t.Fatalf("violation should carry file:line, got %v", problems)
+	}
+}
+
+// TestRepositoryClean lints the actual repository: every internal package
+// keeps a doc.go and no committed markdown link dangles. This is the same
+// check `make lint-docs` runs in CI; failing here means a doc went stale
+// in this very change.
+func TestRepositoryClean(t *testing.T) {
+	problems, err := run("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("repository docs not clean:\n%s", strings.Join(problems, "\n"))
+	}
+}

@@ -6,7 +6,7 @@
 //	experiments                  # run everything at full scale
 //	experiments -id E1,E5        # run selected experiments
 //	experiments -quick           # bench/CI scale
-//	experiments -format markdown # markdown tables (for EXPERIMENTS.md)
+//	experiments -format markdown # markdown tables
 //	experiments -format csv      # machine-readable tables
 //	experiments -seed 7          # change the Monte-Carlo base seed
 //	experiments -id E16 -model pt-burst          # single schedule in E16

@@ -48,7 +48,7 @@
 //	                     bit-deterministic for any worker count and across
 //	                     checkpoint/resume splits
 //	internal/table       ASCII/CSV/Markdown/JSON tables and ASCII plots
-//	internal/experiments experiment drivers E1–E18 (see DESIGN.md), the
+//	internal/experiments experiment drivers E1–E18, the
 //	                     context-aware Run wrapper with per-trial progress,
 //	                     and the SweepTarget bridge from sweep specs to
 //	                     availability-model measurements
@@ -76,6 +76,10 @@
 //	                     cell leases; cmd/traceview stitches coordinator
 //	                     and worker trace dumps into cross-process
 //	                     timelines; examples/... runnable examples
+//
+// docs/ARCHITECTURE.md draws the layer map behind this listing, states the
+// determinism contract every layer preserves, and walks the two data flows
+// worth internalizing first: a distributed sweep and a query-index hit.
 //
 // The experiment service (internal/service + cmd/serve) turns the one-shot
 // drivers into a long-running system: jobs are submitted, tracked and

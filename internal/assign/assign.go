@@ -1,10 +1,3 @@
-// Package assign produces temporal label assignments (temporal.Labeling
-// values) for static graphs: the random assignments the paper analyzes
-// (UNI-CASE uniform labels, the F-CASE generalization) and the
-// deterministic assignments it compares against (the global-coordination
-// baseline, the box labeling behind Claim 1/Theorem 7, optimal star
-// labelings, and an Euler-tour labeling giving an O(n) upper bound on OPT
-// for any connected graph).
 package assign
 
 import (

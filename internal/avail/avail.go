@@ -56,13 +56,54 @@ type Resampler interface {
 // CanResample reports whether m supports the in-place resampling fast path
 // on a fixed substrate: it must implement Resampler and must not be a
 // Scenario (scenario models redraw their own support graph per trial, so
-// there is no fixed substrate to relabel).
+// there is no fixed substrate to relabel — their fast path is
+// IncrementalScenario instead).
 func CanResample(m Model) bool {
 	if _, sc := m.(Scenario); sc {
 		return false
 	}
 	_, ok := m.(Resampler)
 	return ok
+}
+
+// IsScenario reports whether m generates its own support graph (implements
+// Scenario). Engines use it to route: scenario models get a fresh or
+// state-owned graph per trial, so optimizations tied to a fixed substrate
+// (cached static reachability, substrate relabeling) must not apply.
+func IsScenario(m Model) bool {
+	_, ok := m.(Scenario)
+	return ok
+}
+
+// ScenarioState is the reusable per-worker trial state of an incremental
+// scenario: Resample redraws one full trial and returns the support graph's
+// edge list plus its labeling. The contract is bit-identity with Generate —
+// Resample must consume stream exactly as Generate does, and (from, to,
+// lab) must equal the edge list (in identifier order) and labeling of
+// Generate's return for the same stream state — pinned by the differential
+// tests in this package and by sim.BatchRunner's oracle tests.
+//
+// The returned slices are state-owned and overwritten by the next Resample:
+// callers either consume them before resampling again or copy (which is
+// exactly what temporal.Network.RelabelEdges does). The edge list is always
+// in canonical undirected order (from[i] < to[i], strictly ascending
+// lexicographically), so it can be diffed against a previous trial's edges
+// and fed to RelabelEdges directly. A state is bound to the vertex count it
+// was created for; it is not safe for concurrent use — batch engines give
+// each worker its own.
+type ScenarioState interface {
+	Resample(stream *rng.Stream) (from, to []int32, lab temporal.Labeling)
+}
+
+// IncrementalScenario is the scenario analogue of Resampler: a Scenario
+// whose trials can be redrawn into reusable per-worker state instead of
+// allocating a fresh graph + labeling each time. NewScenarioState returns
+// nil when the model cannot support the incremental path for this n (e.g.
+// packed-key overflow on absurd sizes); engines must then fall back to
+// Generate per trial.
+type IncrementalScenario interface {
+	Scenario
+	NewScenarioState(n int) ScenarioState
 }
 
 // Params parameterizes a registry Build. The zero value selects every

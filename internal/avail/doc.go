@@ -39,6 +39,26 @@
 // reallocating implement Resampler — Resample writes into a reused
 // buffer with stream consumption bit-identical to Assign — which is the
 // fast path the batched trial engine (sim.BatchRunner, temporal.Relabel)
-// drives; CanResample reports whether a model qualifies (the geometric
-// scenario, which rebuilds its support graph every draw, does not).
+// drives; CanResample reports whether a model qualifies (scenarios, which
+// redraw their support graph every trial, never do).
+//
+// # Incremental scenarios
+//
+// Scenario models get their own batched fast path. A scenario that
+// implements IncrementalScenario hands the engine a reusable per-worker
+// ScenarioState whose Resample returns the trial's support-edge list (in
+// canonical order: from < to, ascending lexicographically) plus its CSR
+// labeling, all in state-owned buffers that the next call overwrites —
+// stream consumption and output bit-identical to Generate. sim.BatchRunner
+// diffs consecutive trials' edge lists and patches one worker-owned
+// network in place through temporal.RelabelEdges (topology delta + full
+// relabel) instead of rebuilding graph, labels and time-edge indexes from
+// scratch. The geometric model's state keeps its torus grid buckets
+// consistent across walk steps by delta cell moves and groups the packed
+// (pair, slot) events with a stable per-pair counting sort, so a
+// steady-state trial allocates nothing. Generate itself stays the simple
+// map-accumulating reference implementation — the differential oracle the
+// engine is pinned against — and NewScenarioState may return nil for
+// sizes the packed representation cannot cover, which drops that worker
+// back to Generate per trial.
 package avail

@@ -3,6 +3,7 @@ package avail
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/graph"
@@ -22,7 +23,10 @@ import (
 //
 // As a Scenario its Generate builds the support graph of every pair that is
 // ever live; Assign labels an explicit substrate instead, gating each of
-// its edges by the same mobility.
+// its edges by the same mobility. As an IncrementalScenario it also hands
+// batch engines a reusable per-worker trial state (NewScenarioState) that
+// redraws whole trials into retained buffers — persistent grid buckets,
+// packed time-edge events, canonical edge list — bit-identical to Generate.
 type Geometric struct {
 	a      int
 	radius float64 // 0 = auto: 1.5·sqrt(ln n/(π·n)) at build time
@@ -100,12 +104,14 @@ func wrap01(x float64) float64 {
 }
 
 // dist2 is the squared torus distance between points i and j.
-func (w *walk) dist2(i, j int) float64 {
-	dx := math.Abs(w.xs[i] - w.xs[j])
+func (w *walk) dist2(i, j int) float64 { return torusDist2(w.xs, w.ys, i, j) }
+
+func torusDist2(xs, ys []float64, i, j int) float64 {
+	dx := math.Abs(xs[i] - xs[j])
 	if dx > 0.5 {
 		dx = 1 - dx
 	}
-	dy := math.Abs(w.ys[i] - w.ys[j])
+	dy := math.Abs(ys[i] - ys[j])
 	if dy > 0.5 {
 		dy = 1 - dy
 	}
@@ -136,15 +142,319 @@ func (m Geometric) Assign(g *graph.Graph, stream *rng.Stream) temporal.Labeling 
 }
 
 // Generate runs the walk and returns the support graph of every pair that
-// is ever live, labeled with its live slots. Close pairs are found through
-// a uniform grid of cells no smaller than the radius, so a slot costs
-// O(n + live pairs) rather than O(n²) when the radius is small. The pair
-// map is flushed through a sorted key pass, so edge order — and therefore
-// the Labeling — is deterministic.
+// is ever live, labeled with its live slots. Edges come out in canonical
+// order (from < to, lexicographically ascending). This is the simple
+// map-accumulating reference implementation, kept deliberately independent
+// of the packed-event engine batched trials run on (NewScenarioState): the
+// differential tests pin the engine bit-identical to this path, which only
+// works as evidence while the two stay separate implementations.
 func (m Geometric) Generate(n int, stream *rng.Stream) (*graph.Graph, temporal.Labeling) {
 	if n < 0 {
 		panic("avail: geometric Generate with negative n")
 	}
+	return m.generateMap(n, stream)
+}
+
+// NewScenarioState returns the reusable per-worker trial state for n
+// points, or nil when the packed-event representation cannot cover n×n
+// pair keys times the lifetime (engines then fall back to Generate per
+// trial). This is the avail.IncrementalScenario entry point.
+func (m Geometric) NewScenarioState(n int) ScenarioState {
+	st := m.newState(n)
+	if st == nil {
+		return nil
+	}
+	return st
+}
+
+// geomState is the incremental trial engine. Everything a trial needs is
+// retained: the point coordinates, the torus grid buckets (kept consistent
+// across steps by delta cell moves instead of being rebuilt), the packed
+// time-edge event buffer, and the output edge list + labeling. After the
+// first trial at a stable size, Resample allocates nothing.
+type geomState struct {
+	geo   Geometric
+	n     int
+	r2    float64
+	cells int    // grid side; 0 = brute-force pair scan per step
+	aP1   uint64 // lifetime+1, the packed-event time radix
+
+	xs, ys []float64
+
+	// Grid state (cells > 0): cell[i] is point i's current cell, buckets
+	// the members of each cell. advance moves points between buckets only
+	// when their cell actually changes — most steps move only a fraction of
+	// points across cell borders, and no per-step allocation or O(cells²)
+	// reset happens either way.
+	cell    []int32
+	buckets [][]int32
+
+	// events collects one packed word per (pair, slot) liveness:
+	// (u·n+v)·(a+1)+t with u < v. The scan emits them t-major, so a stable
+	// counting sort keyed by pair (groupCounting, when counts is non-nil)
+	// puts them in canonical edge order with ascending labels inside each
+	// edge without comparison-sorting the whole buffer; states too large
+	// for a per-pair cursor array sort the events instead (group).
+	events []uint64
+
+	// counts/touched are the counting-sort cursors: counts is indexed by
+	// pair key u·n+v (zero outside a trial), touched lists the keys hit
+	// this trial so resetting is O(edges), not O(n²).
+	counts  []int32
+	touched []int32
+
+	from, to []int32
+	lab      temporal.Labeling
+}
+
+// countingMaxKeys bounds the pair-key space (n²) the counting-sort path
+// allocates a cursor array for — 2²⁰ int32 cursors is 4 MiB per state,
+// i.e. per batch worker. Larger states comparison-sort the events.
+const countingMaxKeys = 1 << 20
+
+// newState builds the engine, or returns nil when n²·(a+1) would overflow
+// the packed-event word.
+func (m Geometric) newState(n int) *geomState {
+	if n < 0 {
+		panic("avail: geometric state with negative n")
+	}
+	if float64(n)*float64(n)*float64(m.a+1) > float64(uint64(1)<<62) {
+		return nil
+	}
+	r := m.Radius(n)
+	s := &geomState{
+		geo: m, n: n, r2: r * r, aP1: uint64(m.a) + 1,
+		xs: make([]float64, n), ys: make([]float64, n),
+	}
+	// Same guard as the original generator: a grid pays off only when it
+	// is at least 4×4 and there are enough points to spread over it.
+	if cells := int(math.Floor(1 / r)); cells >= 4 && n >= 16 {
+		s.cells = cells
+		s.cell = make([]int32, n)
+		s.buckets = make([][]int32, cells*cells)
+	}
+	if nk := n * n; nk > 0 && nk <= countingMaxKeys {
+		s.counts = make([]int32, nk)
+	}
+	return s
+}
+
+// Resample redraws one full trial: identical stream consumption to the
+// walk in Generate/Assign (init draws x,y per point, each advance draws
+// x,y per point, a−1 advances), identical pair set, identical canonical
+// output order. Implements avail.ScenarioState.
+func (s *geomState) Resample(stream *rng.Stream) ([]int32, []int32, temporal.Labeling) {
+	n := s.n
+	for i := 0; i < n; i++ {
+		s.xs[i] = stream.Float64()
+		s.ys[i] = stream.Float64()
+	}
+	if s.cells > 0 {
+		for i := range s.buckets {
+			s.buckets[i] = s.buckets[i][:0]
+		}
+		for i := 0; i < n; i++ {
+			c := s.cellIndex(i)
+			s.cell[i] = c
+			s.buckets[c] = append(s.buckets[c], int32(i))
+		}
+	}
+	s.events = s.events[:0]
+	a := s.geo.a
+	for t := 1; t <= a; t++ {
+		if s.cells > 0 {
+			s.scanGrid(t)
+		} else {
+			s.scanBrute(t)
+		}
+		if t < a {
+			s.advance(stream)
+		}
+	}
+	if s.counts != nil {
+		return s.groupCounting()
+	}
+	slices.Sort(s.events)
+	return s.group()
+}
+
+// advance moves every point one slot (drawing uniforms in exactly the
+// walk.advance order) and migrates the points whose grid cell changed.
+// Bucket removal is a swap-remove after a linear scan — buckets hold a few
+// points each by construction (cell side ≥ radius).
+func (s *geomState) advance(stream *rng.Stream) {
+	step := s.geo.step
+	for i := range s.xs {
+		s.xs[i] = wrap01(s.xs[i] + (2*stream.Float64()-1)*step)
+		s.ys[i] = wrap01(s.ys[i] + (2*stream.Float64()-1)*step)
+		if s.cells == 0 {
+			continue
+		}
+		c := s.cellIndex(i)
+		if old := s.cell[i]; c != old {
+			b := s.buckets[old]
+			for k, p := range b {
+				if p == int32(i) {
+					b[k] = b[len(b)-1]
+					s.buckets[old] = b[:len(b)-1]
+					break
+				}
+			}
+			s.cell[i] = c
+			s.buckets[c] = append(s.buckets[c], int32(i))
+		}
+	}
+}
+
+func (s *geomState) cellIndex(i int) int32 {
+	cells := s.cells
+	cx := int(s.xs[i] * float64(cells))
+	if cx >= cells {
+		cx = cells - 1
+	}
+	cy := int(s.ys[i] * float64(cells))
+	if cy >= cells {
+		cy = cells - 1
+	}
+	return int32(cy*cells + cx)
+}
+
+// halfOffsets is one representative of each ± class of the eight grid
+// neighbor offsets. Scanning only these (plus same-cell pairs with j > i)
+// visits every unordered pair of adjacent cells exactly once, so no pair
+// can be emitted twice — distinct offsets here never alias the same
+// neighbor for a grid of side ≥ 4, which newState guarantees.
+var halfOffsets = [4][2]int{{1, 0}, {1, 1}, {0, 1}, {-1, 1}}
+
+// scanGrid emits a packed event for every pair within the radius at slot t.
+func (s *geomState) scanGrid(t int) {
+	cells := s.cells
+	for cy := 0; cy < cells; cy++ {
+		for cx := 0; cx < cells; cx++ {
+			b := s.buckets[cy*cells+cx]
+			if len(b) == 0 {
+				continue
+			}
+			for ai := 0; ai < len(b); ai++ {
+				for bi := ai + 1; bi < len(b); bi++ {
+					s.tryPair(int(b[ai]), int(b[bi]), t)
+				}
+			}
+			for _, d := range halfOffsets {
+				bx := cx + d[0]
+				if bx < 0 {
+					bx += cells
+				} else if bx >= cells {
+					bx -= cells
+				}
+				by := cy + d[1]
+				if by >= cells {
+					by -= cells
+				}
+				nb := s.buckets[by*cells+bx]
+				for _, i := range b {
+					for _, j := range nb {
+						s.tryPair(int(i), int(j), t)
+					}
+				}
+			}
+		}
+	}
+}
+
+// scanBrute is the dense-radius / tiny-n pair scan.
+func (s *geomState) scanBrute(t int) {
+	for u := 0; u < s.n; u++ {
+		for v := u + 1; v < s.n; v++ {
+			s.tryPair(u, v, t)
+		}
+	}
+}
+
+func (s *geomState) tryPair(i, j, t int) {
+	if torusDist2(s.xs, s.ys, i, j) <= s.r2 {
+		if i > j {
+			i, j = j, i
+		}
+		key := uint64(i)*uint64(s.n) + uint64(j)
+		s.events = append(s.events, key*s.aP1+uint64(t))
+	}
+}
+
+// group converts the sorted event buffer into the canonical edge list and
+// CSR labeling, all in state-owned reused buffers.
+func (s *geomState) group() ([]int32, []int32, temporal.Labeling) {
+	s.from, s.to = s.from[:0], s.to[:0]
+	s.lab.Labels = s.lab.Labels[:0]
+	s.lab.Off = append(s.lab.Off[:0], 0)
+	const none = ^uint64(0)
+	last := none
+	un := uint64(s.n)
+	for _, ev := range s.events {
+		key := ev / s.aP1
+		if key != last {
+			if last != none {
+				s.lab.Off = append(s.lab.Off, int32(len(s.lab.Labels)))
+			}
+			s.from = append(s.from, int32(key/un))
+			s.to = append(s.to, int32(key%un))
+			last = key
+		}
+		s.lab.Labels = append(s.lab.Labels, int32(ev%s.aP1))
+	}
+	if last != none {
+		s.lab.Off = append(s.lab.Off, int32(len(s.lab.Labels)))
+	}
+	return s.from, s.to, s.lab
+}
+
+// groupCounting converts the t-major event buffer into the canonical edge
+// list and CSR labeling without touching the events' order: a stable
+// two-pass counting sort keyed by pair. The scan's outer loop is t, so
+// each pair's events are already ascending in t and stability alone keeps
+// every label run sorted; only the distinct pair keys — one per support
+// edge, a small fraction of the events — go through a real sort.
+func (s *geomState) groupCounting() ([]int32, []int32, temporal.Labeling) {
+	for _, ev := range s.events {
+		k := int32(ev / s.aP1)
+		if s.counts[k] == 0 {
+			s.touched = append(s.touched, k)
+		}
+		s.counts[k]++
+	}
+	slices.Sort(s.touched)
+	s.from, s.to = s.from[:0], s.to[:0]
+	s.lab.Off = append(s.lab.Off[:0], 0)
+	un := int32(s.n)
+	total := int32(0)
+	for _, k := range s.touched {
+		s.from = append(s.from, k/un)
+		s.to = append(s.to, k%un)
+		c := s.counts[k]
+		s.counts[k] = total // becomes this pair's write cursor
+		total += c
+		s.lab.Off = append(s.lab.Off, total)
+	}
+	if cap(s.lab.Labels) < len(s.events) {
+		s.lab.Labels = make([]int32, len(s.events))
+	}
+	s.lab.Labels = s.lab.Labels[:len(s.events)]
+	for _, ev := range s.events {
+		k := int32(ev / s.aP1)
+		s.lab.Labels[s.counts[k]] = int32(ev % s.aP1)
+		s.counts[k]++
+	}
+	for _, k := range s.touched {
+		s.counts[k] = 0
+	}
+	s.touched = s.touched[:0]
+	return s.from, s.to, s.lab
+}
+
+// generateMap is the original map-accumulating generator, kept as the
+// overflow fallback and as the differential oracle for the packed-event
+// engine.
+func (m Geometric) generateMap(n int, stream *rng.Stream) (*graph.Graph, temporal.Labeling) {
 	r := m.Radius(n)
 	r2 := r * r
 	w := newWalk(n, m.step, stream)

@@ -63,9 +63,9 @@ func assertCheckpointsEqual(t *testing.T, name string, got, want *sweep.Checkpoi
 
 // TestSweepSourceMatchesObservable sweeps representative targets — an
 // i.i.d. law, the Markov chains, a p(t) schedule, the geometric scenario
-// (BatchRunner's rebuild fallback on a fixed substrate) and a randomized
-// substrate (the runner fallback) — through both execution paths and pins
-// the checkpoints identical, across worker counts.
+// (BatchRunner's incremental ScenarioState + RelabelEdges path) and a
+// randomized substrate (the runner fallback) — through both execution
+// paths and pins the checkpoints identical, across worker counts.
 func TestSweepSourceMatchesObservable(t *testing.T) {
 	cases := []struct {
 		name string
@@ -80,6 +80,11 @@ func TestSweepSourceMatchesObservable(t *testing.T) {
 			sweep.Grid{Axes: []sweep.Axis{{Name: "n", Values: []float64{12}}, {Name: "high", Values: []float64{0.3, 0.8}}}}},
 		{"geometric-scenario", SweepTarget{Model: "geometric", Graph: "clique", Lifetime: 8, Metric: "reach"},
 			sweep.Grid{Axes: []sweep.Axis{{Name: "n", Values: []float64{8}}, {Name: "step", Values: []float64{0.05, 0.2}}}}},
+		// Regression: scenario trials run on a per-trial support graph, so
+		// Source must not apply the substrate StaticReach treach shortcut
+		// (it used to, and SatisfiesTreachStatic panicked on the mismatch).
+		{"geometric-treach", SweepTarget{Model: "geometric", Graph: "clique", Lifetime: 12, Metric: "treach"},
+			sweep.Grid{Axes: []sweep.Axis{{Name: "n", Values: []float64{16}}, {Name: "radius", Values: []float64{0.2, 0.4}}}}},
 		{"zipf-gnp-fallback", SweepTarget{Model: "zipf", Graph: "gnp", Lifetime: 10, Metric: "treach"},
 			sweep.Grid{Axes: []sweep.Axis{{Name: "n", Values: []float64{10, 16}}}}},
 	}

@@ -1,0 +1,6 @@
+// Package experiments contains the drivers that regenerate every empirical
+// analogue of the paper's results (All lists the experiment index: id,
+// title and paper anchor per driver). Each driver is a pure function
+// of its Config, returning rendered tables and ASCII figures; the cmd/
+// tools, the root benchmarks and the HTTP service all call the same code.
+package experiments

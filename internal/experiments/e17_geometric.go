@@ -36,6 +36,9 @@ func E17Geometric(cfg Config) Result {
 	step := cfg.mp("step", 0.05)
 	rc := math.Sqrt(math.Log(float64(n)) / (math.Pi * float64(n)))
 	multipliers := []float64{0.7, 1.0, 1.3, 1.8, 2.5}
+	// Scenario models draw their own support graph per trial; the substrate
+	// contributes only the vertex count.
+	substrate := graph.NewBuilder(n, false).Build()
 
 	tb := table.New(
 		"E17: dynamic geometric scenario — reachability vs radius (r_c = sqrt(ln n/(π·n)))",
@@ -55,8 +58,7 @@ func E17Geometric(cfg Config) Result {
 			tb.AddNote("radius %.3g skipped: %v", radius, err)
 			continue
 		}
-		res := cfg.run(trials, cfg.Seed+uint64(mi+1)<<15, func(trial int, stream *rng.Stream) sim.Metrics {
-			net := avail.Network(m, graph.NewBuilder(n, false).Build(), stream)
+		res := cfg.runNet(trials, cfg.Seed+uint64(mi+1)<<15, m, substrate, func(trial int, net *temporal.Network, stream *rng.Stream) sim.Metrics {
 			sup := net.Graph()
 			mt := sim.Metrics{
 				"m":      float64(sup.M()),

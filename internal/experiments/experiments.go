@@ -1,8 +1,3 @@
-// Package experiments contains the drivers that regenerate every empirical
-// analogue of the paper's results (see DESIGN.md §3 for the experiment
-// index). Each driver is a pure function of its Config, returning rendered
-// tables and ASCII figures; the cmd/ tools, the root benchmarks and
-// EXPERIMENTS.md all call the same code.
 package experiments
 
 import (
@@ -22,7 +17,7 @@ type Config struct {
 	// deterministic function of it.
 	Seed uint64
 	// Quick shrinks sizes and trial counts to bench/CI scale. Full runs
-	// (Quick=false) use the sizes reported in EXPERIMENTS.md.
+	// (Quick=false) use each driver's paper-scale sizes.
 	Quick bool
 	// Ctx, when non-nil, cancels a driver mid-run: the Monte-Carlo
 	// harness stops claiming trials and drivers skip remaining phases, so
@@ -100,7 +95,7 @@ type Result struct {
 
 // Experiment couples an experiment id to its driver.
 type Experiment struct {
-	// ID is the DESIGN.md experiment id, e.g. "E1".
+	// ID is the experiment id, e.g. "E1".
 	ID string
 	// Title is a one-line description.
 	Title string

@@ -291,11 +291,14 @@ func (t SweepTarget) Source() (sweep.CellSource, error) {
 		}
 		b := sim.BatchRunner{Model: m, Substrate: g, Seed: seed, Workers: workers, OnTrial: onTrial}
 		measure := t.measure
-		if t.Metric == "treach" {
+		if t.Metric == "treach" && !avail.IsScenario(m) {
 			// The static half of the Treach decision depends only on the
 			// substrate: compute it once per cell and ask each trial only
 			// the temporal question. Same answers (pinned by the
-			// differential tests), substantially cheaper trials.
+			// differential tests), substantially cheaper trials. Scenario
+			// models are excluded: their trials run on a per-trial support
+			// graph, not on g, so a StaticReach built for g would be a
+			// substrate mismatch (SatisfiesTreachStatic panics on it).
 			sr := temporal.NewStaticReach(g)
 			measure = func(net *temporal.Network, r *rng.Stream) float64 {
 				if temporal.SatisfiesTreachStatic(net, sr, nil) {

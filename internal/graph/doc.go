@@ -1,0 +1,14 @@
+// Package graph provides the static-graph substrate underneath the temporal
+// networks of the paper: a compact CSR (compressed sparse row)
+// representation for directed and undirected simple graphs, the standard
+// generators the experiments sweep over (cliques, stars, paths, grids,
+// hypercubes, random graphs, trees), and the classical algorithms the
+// analysis leans on (BFS, connectivity, strongly connected components,
+// diameter, spanning trees).
+//
+// Vertices are the integers 0..N()-1. Every edge has a dense identifier
+// 0..M()-1; temporal label assignments (package assign) attach label sets to
+// those identifiers. For an undirected graph each edge {u,v} has one
+// identifier and appears in the adjacency of both endpoints; for a directed
+// graph each arc (u,v) has its own identifier.
+package graph

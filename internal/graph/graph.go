@@ -1,16 +1,3 @@
-// Package graph provides the static-graph substrate underneath the temporal
-// networks of the paper: a compact CSR (compressed sparse row)
-// representation for directed and undirected simple graphs, the standard
-// generators the experiments sweep over (cliques, stars, paths, grids,
-// hypercubes, random graphs, trees), and the classical algorithms the
-// analysis leans on (BFS, connectivity, strongly connected components,
-// diameter, spanning trees).
-//
-// Vertices are the integers 0..N()-1. Every edge has a dense identifier
-// 0..M()-1; temporal label assignments (package assign) attach label sets to
-// those identifiers. For an undirected graph each edge {u,v} has one
-// identifier and appears in the adjacency of both endpoints; for a directed
-// graph each arc (u,v) has its own identifier.
 package graph
 
 import (
@@ -18,8 +5,12 @@ import (
 	"slices"
 )
 
-// Graph is an immutable simple (di)graph in CSR form. Build one with a
-// Builder or a generator; the zero value is an empty graph with no vertices.
+// Graph is a simple (di)graph in CSR form, immutable through its query
+// surface. Build one with a Builder or a generator; the zero value is an
+// empty graph with no vertices. The only mutation entry points are the
+// owner-only ReplaceEdges/ApplyEdgeDelta in mutate.go, used by incremental
+// scenario models on graphs they hold exclusively; a graph that is shared
+// must never be mutated.
 type Graph struct {
 	n        int
 	directed bool
@@ -38,6 +29,10 @@ type Graph struct {
 	roff     []int32
 	radjTo   []int32
 	radjEdge []int32
+
+	// Scratch for the owner-only mutation path (mutate.go). nil until the
+	// first ReplaceEdges/ApplyEdgeDelta call; read-only graphs never pay.
+	mut *mutScratch
 }
 
 // Builder accumulates edges and produces an immutable Graph.

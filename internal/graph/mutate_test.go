@@ -1,0 +1,313 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// assertSame checks full structural equality between a mutated graph and a
+// freshly built oracle: vertex/edge counts, edge arrays (identifier order),
+// adjacency (neighbor order and edge ids), and Validate.
+func assertSame(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() || got.Directed() != want.Directed() {
+		t.Fatalf("shape mismatch: got n=%d m=%d dir=%v, want n=%d m=%d dir=%v",
+			got.N(), got.M(), got.Directed(), want.N(), want.M(), want.Directed())
+	}
+	if !slices.Equal(got.FromArray(), want.FromArray()) || !slices.Equal(got.ToArray(), want.ToArray()) {
+		t.Fatalf("edge arrays differ:\n got from=%v to=%v\nwant from=%v to=%v",
+			got.FromArray(), got.ToArray(), want.FromArray(), want.ToArray())
+	}
+	for u := 0; u < got.N(); u++ {
+		if !slices.Equal(got.OutNeighbors(u), want.OutNeighbors(u)) {
+			t.Fatalf("vertex %d out-neighbors: got %v want %v", u, got.OutNeighbors(u), want.OutNeighbors(u))
+		}
+		if !slices.Equal(got.OutEdges(u), want.OutEdges(u)) {
+			t.Fatalf("vertex %d out-edges: got %v want %v", u, got.OutEdges(u), want.OutEdges(u))
+		}
+		if !slices.Equal(got.InNeighbors(u), want.InNeighbors(u)) {
+			t.Fatalf("vertex %d in-neighbors: got %v want %v", u, got.InNeighbors(u), want.InNeighbors(u))
+		}
+		if !slices.Equal(got.InEdges(u), want.InEdges(u)) {
+			t.Fatalf("vertex %d in-edges: got %v want %v", u, got.InEdges(u), want.InEdges(u))
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("mutated graph invalid: %v", err)
+	}
+}
+
+func buildFrom(n int, directed bool, from, to []int32) *Graph {
+	b := NewBuilder(n, directed)
+	for i := range from {
+		b.AddEdge(int(from[i]), int(to[i]))
+	}
+	return b.Build()
+}
+
+// randomEdgeSet draws a canonical (sorted, from<to, no duplicates) edge set.
+func randomEdgeSet(rng *rand.Rand, n, m int) (from, to []int32) {
+	seen := map[int64]bool{}
+	keys := make([]int64, 0, m)
+	for len(keys) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		k := int64(u)*int64(n) + int64(v)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		from = append(from, int32(k/int64(n)))
+		to = append(to, int32(k%int64(n)))
+	}
+	return from, to
+}
+
+func TestReplaceEdgesMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, directed := range []bool{false, true} {
+		for _, n := range []int{0, 1, 2, 5, 17, 40} {
+			g := buildFrom(n, directed, nil, nil)
+			maxM := n * (n - 1) / 2
+			for round := 0; round < 8; round++ {
+				m := 0
+				if maxM > 0 {
+					m = rng.Intn(maxM + 1)
+				}
+				from, to := randomEdgeSet(rng, max(n, 1), min(m, maxM))
+				if directed && rng.Intn(2) == 0 {
+					// Directed graphs need not be canonical; flip some arcs.
+					for i := range from {
+						if rng.Intn(2) == 0 {
+							from[i], to[i] = to[i], from[i]
+						}
+					}
+				}
+				if err := g.ReplaceEdges(from, to); err != nil {
+					t.Fatalf("ReplaceEdges(n=%d dir=%v round=%d): %v", n, directed, round, err)
+				}
+				assertSame(t, g, buildFrom(n, directed, from, to))
+			}
+		}
+	}
+}
+
+func TestReplaceEdgesRejectsBadInput(t *testing.T) {
+	g := buildFrom(4, false, []int32{0}, []int32{1})
+	cases := []struct{ from, to []int32 }{
+		{[]int32{0, 1}, []int32{1}}, // length mismatch
+		{[]int32{0}, []int32{4}},    // out of range
+		{[]int32{-1}, []int32{2}},   // negative
+		{[]int32{2}, []int32{2}},    // self-loop
+	}
+	for i, c := range cases {
+		if err := g.ReplaceEdges(c.from, c.to); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Failed calls must leave the graph usable and unchanged in shape.
+	assertSame(t, g, buildFrom(4, false, []int32{0}, []int32{1}))
+}
+
+// applyDeltaOracle computes the expected merged edge list in canonical order.
+func applyDeltaOracle(n int, from, to, remove, insFrom, insTo []int32) (nf, nt []int32) {
+	removed := map[int32]bool{}
+	for _, r := range remove {
+		removed[r] = true
+	}
+	keys := []int64{}
+	for e := range from {
+		if !removed[int32(e)] {
+			keys = append(keys, int64(from[e])*int64(n)+int64(to[e]))
+		}
+	}
+	for i := range insFrom {
+		keys = append(keys, int64(insFrom[i])*int64(n)+int64(insTo[i]))
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		nf = append(nf, int32(k/int64(n)))
+		nt = append(nt, int32(k%int64(n)))
+	}
+	return nf, nt
+}
+
+func TestApplyEdgeDeltaMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 3, 6, 12, 30} {
+		maxM := n * (n - 1) / 2
+		from, to := randomEdgeSet(rng, n, rng.Intn(maxM+1))
+		g := buildFrom(n, false, from, to)
+		for round := 0; round < 30; round++ {
+			// Random removal subset (ascending by construction).
+			var remove []int32
+			for e := range from {
+				if rng.Intn(3) == 0 {
+					remove = append(remove, int32(e))
+				}
+			}
+			// Random canonical insert set disjoint from surviving edges.
+			present := map[int64]bool{}
+			removed := map[int32]bool{}
+			for _, r := range remove {
+				removed[r] = true
+			}
+			for e := range from {
+				if !removed[int32(e)] {
+					present[int64(from[e])*int64(n)+int64(to[e])] = true
+				}
+			}
+			var insKeys []int64
+			for tries := 0; tries < n; tries++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v {
+					continue
+				}
+				if u > v {
+					u, v = v, u
+				}
+				k := int64(u)*int64(n) + int64(v)
+				if present[k] {
+					continue
+				}
+				present[k] = true
+				insKeys = append(insKeys, k)
+			}
+			slices.Sort(insKeys)
+			var insFrom, insTo []int32
+			for _, k := range insKeys {
+				insFrom = append(insFrom, int32(k/int64(n)))
+				insTo = append(insTo, int32(k%int64(n)))
+			}
+
+			if err := g.ApplyEdgeDelta(remove, insFrom, insTo); err != nil {
+				t.Fatalf("ApplyEdgeDelta(n=%d round=%d): %v", n, round, err)
+			}
+			from, to = applyDeltaOracle(n, from, to, remove, insFrom, insTo)
+			assertSame(t, g, buildFrom(n, false, from, to))
+		}
+	}
+}
+
+func TestApplyEdgeDeltaRejectsBadInput(t *testing.T) {
+	mk := func() *Graph {
+		return buildFrom(5, false, []int32{0, 0, 1}, []int32{1, 3, 2})
+	}
+	cases := []struct {
+		name                   string
+		remove, insFrom, insTo []int32
+	}{
+		{"remove out of range", []int32{3}, nil, nil},
+		{"remove negative", []int32{-1}, nil, nil},
+		{"remove not ascending", []int32{1, 1}, nil, nil},
+		{"insert self-loop", nil, []int32{2}, []int32{2}},
+		{"insert out of range", nil, []int32{2}, []int32{5}},
+		{"insert not canonical orientation", nil, []int32{3}, []int32{1}},
+		{"insert not sorted", nil, []int32{2, 1}, []int32{4, 4}},
+		{"insert duplicate of existing", nil, []int32{0}, []int32{3}},
+	}
+	for _, c := range cases {
+		g := mk()
+		if err := g.ApplyEdgeDelta(c.remove, c.insFrom, c.insTo); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+		// A failed patch must leave the graph untouched.
+		assertSame(t, g, mk())
+	}
+
+	directed := buildFrom(3, true, []int32{0}, []int32{1})
+	if err := directed.ApplyEdgeDelta(nil, nil, nil); err == nil {
+		t.Error("directed: expected error")
+	}
+
+	// Non-canonical current edges are detected mid-merge without mutation.
+	nc := buildFrom(4, false, []int32{1, 0}, []int32{2, 1}) // keys out of order
+	if err := nc.ApplyEdgeDelta(nil, []int32{2}, []int32{3}); err == nil {
+		t.Error("non-canonical base: expected error")
+	}
+	assertSame(t, nc, buildFrom(4, false, []int32{1, 0}, []int32{2, 1}))
+}
+
+func TestApplyEdgeDeltaReinsertRemoved(t *testing.T) {
+	// Removing an edge and inserting the same pair in one delta is legal.
+	g := buildFrom(4, false, []int32{0, 1}, []int32{1, 2})
+	if err := g.ApplyEdgeDelta([]int32{0}, []int32{0}, []int32{1}); err != nil {
+		t.Fatalf("reinsert removed: %v", err)
+	}
+	assertSame(t, g, buildFrom(4, false, []int32{0, 1}, []int32{1, 2}))
+}
+
+func TestCanonicalEdges(t *testing.T) {
+	if !buildFrom(4, false, []int32{0, 0, 2}, []int32{1, 2, 3}).CanonicalEdges() {
+		t.Error("sorted from<to edge list should be canonical")
+	}
+	if buildFrom(4, false, []int32{1}, []int32{0}).CanonicalEdges() {
+		t.Error("from>to should not be canonical")
+	}
+	if buildFrom(4, false, []int32{0, 0}, []int32{2, 1}).CanonicalEdges() {
+		t.Error("unsorted keys should not be canonical")
+	}
+	if buildFrom(3, true, []int32{0}, []int32{1}).CanonicalEdges() {
+		t.Error("directed graphs are never canonical")
+	}
+	if !buildFrom(3, false, nil, nil).CanonicalEdges() {
+		t.Error("empty edge list is canonical")
+	}
+}
+
+func TestReplaceEdgesSteadyStateAllocs(t *testing.T) {
+	// After warm-up at a stable edge-count ceiling, ReplaceEdges allocates
+	// nothing — the property the per-trial scenario rebuild path relies on.
+	from, to := randomEdgeSet(rand.New(rand.NewSource(3)), 64, 200)
+	g := buildFrom(64, false, from, to)
+	if err := g.ReplaceEdges(from, to); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if err := g.ReplaceEdges(from, to); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("ReplaceEdges steady state allocs/op = %v, want 0", avg)
+	}
+}
+
+func TestApplyEdgeDeltaSteadyStateAllocs(t *testing.T) {
+	from, to := randomEdgeSet(rand.New(rand.NewSource(5)), 64, 200)
+	g := buildFrom(64, false, from, to)
+	// Alternate between removing edge 0 and reinserting that pair.
+	u, v := from[0], to[0]
+	if err := g.ApplyEdgeDelta([]int32{0}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ApplyEdgeDelta(nil, []int32{u}, []int32{v}); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(50, func() {
+		var err error
+		if i%2 == 0 {
+			err = g.ApplyEdgeDelta([]int32{0}, nil, nil)
+		} else {
+			err = g.ApplyEdgeDelta(nil, []int32{u}, []int32{v})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("ApplyEdgeDelta steady state allocs/op = %v, want 0", avg)
+	}
+}

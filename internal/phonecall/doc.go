@@ -1,0 +1,13 @@
+// Package phonecall implements the classical random phone-call rumor
+// spreading model (Demers et al.; Frieze–Grimmett; Karp et al.) that §1.1
+// of the paper compares against: in synchronous rounds, every vertex calls
+// a uniformly random neighbor; PUSH sends the rumor to the callee, PUSH-PULL
+// also pulls it back from an informed callee.
+//
+// The contrast the paper draws: in this model randomness is available to
+// the algorithm in every round, whereas in a random temporal network each
+// link offers a single random moment fixed by the input. Both broadcast a
+// clique in Θ(log n) rounds, but only the temporal model's completion time
+// scales with the lifetime (Theorem 5) — experiment E10 puts the two side
+// by side.
+package phonecall

@@ -1,15 +1,3 @@
-// Package rng provides deterministic, splittable pseudo-randomness for the
-// Monte-Carlo experiment harness.
-//
-// Reproducibility across parallel runs is the design constraint: trial i of
-// an experiment must see the same random labels no matter how many workers
-// execute trials or in which order. To that end, experiments derive one
-// independent Stream per trial from a base seed with NewStream(seed, i);
-// streams are cheap value types and never shared between goroutines.
-//
-// The generator is xoshiro256**, seeded through SplitMix64 as its authors
-// recommend; bounded integers use Lemire's unbiased multiply-shift rejection
-// method.
 package rng
 
 import (

@@ -1,0 +1,15 @@
+// Package service turns the experiment registry into a long-running,
+// concurrent, cache-backed system: a job manager running E1–E17 drivers on
+// a bounded worker pool (reusing internal/sim's determinism contract, so a
+// job's numbers depend only on its request), an LRU result cache keyed by
+// the canonicalized (experiment, Config) pair, and structured JSON/CSV/
+// Markdown encodings of results. server.go exposes it over HTTP; cmd/serve
+// is the binary.
+//
+// Because every driver is a pure function of (ID, Seed, Quick, Model, MP),
+// identical requests are served from cache without recomputation and cached
+// payloads are bit-identical to freshly computed ones. The availability-
+// model registry (internal/avail) is exposed read-only at GET /models, and
+// requests may carry a model name plus parameter overrides for the
+// model-aware drivers E15–E17.
+package service

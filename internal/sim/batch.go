@@ -16,6 +16,7 @@ package sim
 
 import (
 	"context"
+	"slices"
 	"sync"
 
 	"repro/internal/avail"
@@ -37,14 +38,17 @@ type NetTrial func(trial int, net *temporal.Network, r *rng.Stream) Metrics
 type NetObservable func(trial int, net *temporal.Network, r *rng.Stream) float64
 
 // BatchRunner drives Monte-Carlo trials of one availability model over one
-// fixed substrate through the amortized Resample + Relabel path. The zero
-// value is not useful; set Model and Substrate (and usually Seed).
+// fixed substrate through an amortized in-place path. The zero value is
+// not useful; set Model and Substrate (and usually Seed).
 //
-// Models that cannot resample in place — scenario models, which redraw
-// their own support graph per trial — transparently fall back to a full
-// avail.Network rebuild per trial, so BatchRunner is safe to use for every
-// registered model: the fast path is an optimization, never a behavior
-// change.
+// Fixed-substrate models that implement avail.Resampler take the
+// Resample + Relabel path. Scenario models that implement
+// avail.IncrementalScenario (the mobility models, whose support graph
+// changes per trial) take the ScenarioState + RelabelEdges path: each
+// worker owns its support graph and patches topology and labels in place.
+// Everything else transparently falls back to a full avail.Network rebuild
+// per trial, so BatchRunner is safe to use for every registered model: the
+// fast paths are optimizations, never a behavior change.
 type BatchRunner struct {
 	// Model draws the availability labels; trial i consumes
 	// rng.NewStream(Seed, i) exactly as avail.Network would.
@@ -78,14 +82,21 @@ func (b *BatchRunner) runner() Runner {
 type batchWorker struct {
 	model     avail.Model
 	substrate *graph.Graph
-	rs        avail.Resampler // nil selects the rebuild path
+	rs        avail.Resampler     // non-nil selects the fixed-substrate relabel path
+	ss        avail.ScenarioState // non-nil selects the incremental scenario path
 	net       *temporal.Network
 	lab       temporal.Labeling
 
-	// resampled/rebuilt count this worker's trials per labeling path since
-	// it was acquired; release flushes them to the process counters so the
-	// per-trial path stays free of shared atomics.
+	// Scenario-path diff scratch: the edge delta between the worker's
+	// current support graph and the trial's fresh edge list, reused so the
+	// per-trial diff allocates nothing.
+	remove, insFrom, insTo []int32
+
+	// resampled/scenario/rebuilt count this worker's trials per labeling
+	// path since it was acquired; release flushes them to the process
+	// counters so the per-trial path stays free of shared atomics.
 	resampled uint64
+	scenario  uint64
 	rebuilt   uint64
 }
 
@@ -103,43 +114,121 @@ func (b *BatchRunner) acquire() *batchWorker {
 	w := &batchWorker{model: b.Model, substrate: b.Substrate}
 	if avail.CanResample(b.Model) {
 		w.rs = b.Model.(avail.Resampler)
+	} else if inc, ok := b.Model.(avail.IncrementalScenario); ok {
+		// May still be nil (model can't cover this size incrementally);
+		// instance then takes the rebuild path.
+		w.ss = inc.NewScenarioState(b.Substrate.N())
 	}
 	return w
 }
 
 func (b *BatchRunner) release(w *batchWorker) {
 	obsBatchResample.Add(w.resampled)
+	obsBatchScenario.Add(w.scenario)
 	obsBatchRebuild.Add(w.rebuilt)
-	w.resampled, w.rebuilt = 0, 0
+	w.resampled, w.scenario, w.rebuilt = 0, 0, 0
 	b.mu.Lock()
 	b.free = append(b.free, w)
 	b.mu.Unlock()
 }
 
-// instance draws the trial's labeled network: the amortized
-// Resample + Relabel path when the model supports it, a full rebuild
-// otherwise. Both consume stream identically, so downstream measurements
-// cannot tell the paths apart.
+// instance draws the trial's labeled network by one of three routes, all
+// consuming stream identically so downstream measurements cannot tell them
+// apart:
+//
+//   - Resample + Relabel for fixed-substrate models (avail.Resampler): the
+//     labels are redrawn into a reused buffer and the temporal indexes
+//     rebuilt in place;
+//   - ScenarioState + RelabelEdges for incremental scenario models: the
+//     trial's support-graph edge list is redrawn into worker state, diffed
+//     against the worker's current graph, and both topology and labels are
+//     patched in place (the graph is worker-owned, so the mutation is safe);
+//   - a full avail.Network rebuild for everything else.
 func (w *batchWorker) instance(stream *rng.Stream) *temporal.Network {
-	if w.rs == nil {
+	switch {
+	case w.rs != nil:
+		w.resampled++
+		w.rs.Resample(w.substrate, &w.lab, stream)
+		if w.net == nil {
+			// First trial on this worker: build the index skeleton from an
+			// empty labeling, then relabel — the network then never aliases
+			// the resample buffer, which the next trial overwrites.
+			empty := temporal.Labeling{Off: make([]int32, w.substrate.M()+1)}
+			w.net = temporal.MustNew(w.substrate, w.model.Lifetime(), empty)
+		}
+		if err := w.net.Relabel(w.lab); err != nil {
+			// Resample's contract (labels in range, offsets well-formed)
+			// makes this unreachable; a model violating it is a programming
+			// error.
+			panic("sim: resampled labeling rejected: " + err.Error())
+		}
+		return w.net
+	case w.ss != nil:
+		w.scenario++
+		from, to, lab := w.ss.Resample(stream)
+		if w.net == nil {
+			// First trial: materialize a worker-owned support graph and
+			// network. Both the edge list and the labeling are copied out of
+			// the scenario state here (Build copies, MustNew retains — hence
+			// the clones), because the state overwrites its buffers next
+			// trial.
+			gb := graph.NewBuilder(w.substrate.N(), false)
+			for i := range from {
+				gb.AddEdge(int(from[i]), int(to[i]))
+			}
+			owned := temporal.Labeling{Off: slices.Clone(lab.Off), Labels: slices.Clone(lab.Labels)}
+			w.net = temporal.MustNew(gb.Build(), w.model.Lifetime(), owned)
+			return w.net
+		}
+		w.diffEdges(from, to)
+		err := w.net.RelabelEdges(temporal.EdgeDelta{
+			Remove: w.remove, InsertFrom: w.insFrom, InsertTo: w.insTo, Labels: lab,
+		})
+		if err != nil {
+			// ScenarioState's contract (canonical edge order, well-formed
+			// labeling) makes this unreachable.
+			panic("sim: scenario delta rejected: " + err.Error())
+		}
+		return w.net
+	default:
 		w.rebuilt++
 		return avail.Network(w.model, w.substrate, stream)
 	}
-	w.resampled++
-	w.rs.Resample(w.substrate, &w.lab, stream)
-	if w.net == nil {
-		// First trial on this worker: build the index skeleton from an
-		// empty labeling, then relabel — the network then never aliases
-		// the resample buffer, which the next trial overwrites.
-		empty := temporal.Labeling{Off: make([]int32, w.substrate.M()+1)}
-		w.net = temporal.MustNew(w.substrate, w.model.Lifetime(), empty)
+}
+
+// diffEdges computes the insert/remove delta between the worker network's
+// current (canonical) edge list and the fresh trial's, by one linear merge
+// into reused scratch.
+func (w *batchWorker) diffEdges(from, to []int32) {
+	oldF, oldT := w.net.Graph().FromArray(), w.net.Graph().ToArray()
+	nv := int64(w.substrate.N())
+	w.remove = w.remove[:0]
+	w.insFrom = w.insFrom[:0]
+	w.insTo = w.insTo[:0]
+	i, j := 0, 0
+	for i < len(oldF) && j < len(from) {
+		ko := int64(oldF[i])*nv + int64(oldT[i])
+		kn := int64(from[j])*nv + int64(to[j])
+		switch {
+		case ko == kn:
+			i++
+			j++
+		case ko < kn:
+			w.remove = append(w.remove, int32(i))
+			i++
+		default:
+			w.insFrom = append(w.insFrom, from[j])
+			w.insTo = append(w.insTo, to[j])
+			j++
+		}
 	}
-	if err := w.net.Relabel(w.lab); err != nil {
-		// Resample's contract (labels in range, offsets well-formed) makes
-		// this unreachable; a model violating it is a programming error.
-		panic("sim: resampled labeling rejected: " + err.Error())
+	for ; i < len(oldF); i++ {
+		w.remove = append(w.remove, int32(i))
 	}
-	return w.net
+	for ; j < len(from); j++ {
+		w.insFrom = append(w.insFrom, from[j])
+		w.insTo = append(w.insTo, to[j])
+	}
 }
 
 // Run executes trials 0 … count−1 and aggregates their metrics, mirroring

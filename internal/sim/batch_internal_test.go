@@ -1,0 +1,67 @@
+package sim
+
+// White-box checks that BatchRunner actually routes models onto the path
+// their capabilities select — the differential tests alone could pass with
+// every model silently falling back to the rebuild path.
+
+import (
+	"testing"
+
+	"repro/internal/avail"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestAcquireSelectsPathPerModel(t *testing.T) {
+	g := graph.Clique(24, false)
+	cases := []struct {
+		model          string
+		wantRS, wantSS bool
+	}{
+		{"uniform", true, false}, // Resampler → relabel path
+		{"markov", true, false},
+		{"geometric", false, true}, // IncrementalScenario → scenario path
+	}
+	for _, tc := range cases {
+		m, err := avail.Build(tc.model, avail.Params{Lifetime: 10})
+		if err != nil {
+			t.Fatalf("Build(%q): %v", tc.model, err)
+		}
+		b := BatchRunner{Model: m, Substrate: g, Seed: 1}
+		w := b.acquire()
+		if (w.rs != nil) != tc.wantRS || (w.ss != nil) != tc.wantSS {
+			t.Fatalf("%s: rs=%v ss=%v, want rs=%v ss=%v",
+				tc.model, w.rs != nil, w.ss != nil, tc.wantRS, tc.wantSS)
+		}
+		b.release(w)
+	}
+}
+
+// TestScenarioPathCountsTrials drives a worker through several geometric
+// trials and checks they are all served by the incremental path (first
+// build + RelabelEdges), never the rebuild fallback.
+func TestScenarioPathCountsTrials(t *testing.T) {
+	m, err := avail.Build("geometric", avail.Params{Lifetime: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := BatchRunner{Model: m, Substrate: graph.Clique(48, false), Seed: 7}
+	w := b.acquire()
+	if w.ss == nil {
+		t.Fatal("geometric worker has no scenario state")
+	}
+	for i := uint64(0); i < 5; i++ {
+		net := w.instance(rng.NewStream(7, i))
+		if net != w.net {
+			t.Fatalf("trial %d: instance did not return the worker-owned network", i)
+		}
+	}
+	if w.scenario != 5 || w.rebuilt != 0 || w.resampled != 0 {
+		t.Fatalf("path counters scenario=%d rebuilt=%d resampled=%d, want 5/0/0",
+			w.scenario, w.rebuilt, w.resampled)
+	}
+	// The worker-owned graph must stay canonical so the next diff holds.
+	if !w.net.Graph().CanonicalEdges() {
+		t.Fatal("worker graph lost canonical edge order")
+	}
+}

@@ -154,6 +154,30 @@ func TestBatchRunnerObserveFromMatchesScalars(t *testing.T) {
 	}
 }
 
+// TestBatchRunnerGeometricGridMatchesRebuild is the mobility-specific
+// differential test at a size that takes the grid-bucket scan and the
+// RelabelEdges rebuild route — the configuration the E17 sweeps run —
+// against the rebuild oracle, across worker counts.
+func TestBatchRunnerGeometricGridMatchesRebuild(t *testing.T) {
+	m, err := avail.Build("geometric", avail.Params{Lifetime: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Clique(64, false) // scenario models use only the vertex count
+	const trials, seed = 20, 423
+	want := sim.Runner{Trials: trials, Seed: seed}.Run(func(trial int, r *rng.Stream) sim.Metrics {
+		return measureNet(trial, avail.Network(m, g, r), r)
+	})
+	for _, workers := range []int{1, 4, 0} {
+		b := sim.BatchRunner{Model: m, Substrate: g, Seed: seed, Workers: workers}
+		got, err := b.RunFromContext(context.Background(), 0, trials, measureNet)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		assertResultsEqual(t, fmt.Sprintf("geometric-grid workers=%d", workers), got, want)
+	}
+}
+
 // TestBatchRunnerPanicPropagates pins runLoop's panic contract on the
 // batched path: a panicking trial re-raises on the caller.
 func TestBatchRunnerPanicPropagates(t *testing.T) {

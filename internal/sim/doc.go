@@ -1,0 +1,34 @@
+// Package sim is the parallel Monte-Carlo harness behind every experiment:
+// it runs independent randomized trials across a worker pool and aggregates
+// named metrics into stats.Samples.
+//
+// Determinism is the contract: trial i always receives the stream
+// rng.NewStream(seed, i), and aggregation happens in trial order after all
+// workers finish, so results are bit-identical for any worker count or
+// scheduling.
+//
+// Two executors share that contract: Runner, the general harness (with a
+// scalar fast path, ScalarsFromContext, for single-valued observables),
+// and BatchRunner (batch.go), the batched trial engine for
+// availability-model workloads. BatchRunner picks one of three per-worker
+// routes from the model's capabilities, cheapest applicable first:
+//
+//   - Resample + Relabel: models implementing avail.Resampler (the i.i.d.
+//     laws, markov, pt-*) keep the substrate fixed, so each trial redraws
+//     labels into a reused buffer and temporal.Relabel rebuilds the
+//     time-edge indexes in place — zero steady-state allocations.
+//   - ScenarioState + RelabelEdges: scenario models implementing
+//     avail.IncrementalScenario (geometric) redraw the edge set too. The
+//     worker holds one reusable ScenarioState and one private network;
+//     each trial diffs the new canonical edge list against the previous
+//     one (a linear merge) and patches topology and labels through
+//     temporal.RelabelEdges instead of rebuilding from scratch.
+//   - Full rebuild: everything else — non-incremental scenarios, or a
+//     NewScenarioState that returned nil for this size — constructs a
+//     fresh avail.Network per trial.
+//
+// All three are bit-identical to the naive rebuild path for the same
+// (seed, trial) stream; the counters
+// sim_batch_{resample,scenario,rebuild}_trials_total record which route
+// each trial took.
+package sim

@@ -1,18 +1,3 @@
-// Package sim is the parallel Monte-Carlo harness behind every experiment:
-// it runs independent randomized trials across a worker pool and aggregates
-// named metrics into stats.Samples.
-//
-// Determinism is the contract: trial i always receives the stream
-// rng.NewStream(seed, i), and aggregation happens in trial order after all
-// workers finish, so results are bit-identical for any worker count or
-// scheduling.
-//
-// Two executors share that contract: Runner, the general harness (with a
-// scalar fast path, ScalarsFromContext, for single-valued observables),
-// and BatchRunner (batch.go), the batched trial engine for the
-// fixed-substrate availability-model workload — per-worker networks
-// relabeled in place instead of rebuilt, bit-identical to the rebuild
-// path.
 package sim
 
 import (

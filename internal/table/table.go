@@ -1,6 +1,3 @@
-// Package table renders experiment results: aligned ASCII tables (with CSV
-// and Markdown variants) for the paper's "tables", and a small ASCII
-// scatter/line plot for its "figures".
 package table
 
 import (

@@ -1,39 +1,3 @@
-// Package temporal implements the temporal-network model of the paper
-// (following Kempe–Kleinberg–Kumar and Mertzios et al.): a static (di)graph
-// whose every edge carries a sorted set of integer time labels in
-// {1, …, lifetime}, together with the journey machinery built on top —
-// foremost (earliest-arrival) journeys, temporal reachability, and the
-// temporal diameter.
-//
-// A label l on edge e={u,v} means e may be crossed exactly at time l (in
-// either direction when the graph is undirected). A journey is a path whose
-// consecutive hop labels strictly increase; its arrival time is its last
-// label. The temporal distance δ(u,v) is the minimum arrival time over all
-// (u,v)-journeys.
-//
-// The hot path is the earliest-arrival engine (engine.go, msreach.go). At
-// construction the network builds two indexes over its M time edges (an
-// (edge, label) pair is one time edge): the global list bucket-sorted by
-// label, and a per-vertex CSR of outgoing time edges sorted by label. Three
-// kernels run on those indexes:
-//
-//   - the frontier kernel: a Dial-style bucket queue settles vertices in
-//     arrival order and relaxes only the time edges leaving settled
-//     vertices with labels above their arrival, so a single-source query
-//     costs O(n + reached time edges) rather than O(M), with early
-//     termination once every vertex is settled or the queue drains;
-//   - the bit-parallel kernel: 64 sources share one pass over the
-//     label-sorted time-edge list, one uint64 of source bits per vertex,
-//     answering all-pairs reachability questions (Treach, violation
-//     counts) in ⌈n/64⌉ passes instead of n;
-//   - the linear kernel (EarliestArrivalsLinearInto): the original
-//     single-pass scan, kept as the differential-testing oracle.
-//
-// All public entry points draw their work arrays from a sync.Pool-backed
-// scratch layer, so steady-state queries allocate nothing. For Monte-Carlo
-// workloads that hold the substrate fixed and only resample availability,
-// Relabel rebuilds all indexes in place over the existing buffers, so a
-// steady-state trial allocates nothing either (see sim.BatchRunner).
 package temporal
 
 import (
@@ -93,10 +57,15 @@ func LabelingFromSets(sets [][]int) Labeling {
 }
 
 // Network is an ephemeral temporal network: a static graph plus a label
-// assignment with all labels in {1, …, Lifetime()}. The graph and lifetime
-// are immutable; the labels can be replaced wholesale through Relabel,
-// which rebuilds every index in place — the batched Monte-Carlo path that
-// holds the substrate fixed and resamples availability per trial.
+// assignment with all labels in {1, …, Lifetime()}. The lifetime is
+// immutable; the labels can be replaced wholesale through Relabel, which
+// rebuilds every index in place — the batched Monte-Carlo path that holds
+// the substrate fixed and resamples availability per trial. Networks whose
+// graph is exclusively owned (the incremental mobility scenarios) can
+// additionally change topology per trial through RelabelEdges
+// (relabeledges.go), which patches or rebuilds the graph's CSR in place
+// under the same lazy index machinery; shared-substrate networks must
+// never do this.
 type Network struct {
 	g        *graph.Graph
 	lifetime int32
@@ -131,10 +100,12 @@ type Network struct {
 	// nothing: teCounts is the counting-sort histogram, vtePos the
 	// per-vertex fill cursor. histValid marks teCounts as holding the
 	// current labels' histogram (Relabel computes it while copying, so the
-	// lazy time-edge build can skip its counting pass).
-	teCounts  []int32
-	vtePos    []int32
-	histValid bool
+	// lazy time-edge build can skip its counting pass). deltaFrom/deltaTo
+	// hold the merged edge list on RelabelEdges' rebuild route.
+	teCounts           []int32
+	vtePos             []int32
+	histValid          bool
+	deltaFrom, deltaTo []int32
 
 	// Lazy index state. Relabel only copies the labels; the per-edge label
 	// sort and the two derived indexes are redone on first use, so a trial
